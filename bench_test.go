@@ -1,0 +1,58 @@
+package lorameshmon_test
+
+import (
+	"testing"
+
+	"lorameshmon/internal/experiments"
+)
+
+// Each benchmark regenerates one table/figure of the evaluation (see
+// DESIGN.md for the index and EXPERIMENTS.md for recorded outputs).
+// The reported "rows" metric is the number of data rows produced, so a
+// broken sweep is visible from the bench output alone.
+
+func benchTable(b *testing.B, run func() experiments.Table) {
+	b.Helper()
+	b.ReportAllocs()
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		t := run()
+		rows = len(t.Rows)
+	}
+	if rows == 0 {
+		b.Fatal("experiment produced no rows")
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkT1RecordOverhead(b *testing.B)  { benchTable(b, experiments.T1RecordOverhead) }
+func BenchmarkT2UplinkBandwidth(b *testing.B) { benchTable(b, experiments.T2UplinkBandwidth) }
+func BenchmarkF1PDRvsSize(b *testing.B)       { benchTable(b, experiments.F1PDRvsSize) }
+func BenchmarkF2PDRvsHops(b *testing.B)       { benchTable(b, experiments.F2PDRvsHops) }
+func BenchmarkF3Convergence(b *testing.B)     { benchTable(b, experiments.F3Convergence) }
+func BenchmarkF4Airtime(b *testing.B)         { benchTable(b, experiments.F4Airtime) }
+func BenchmarkF5Completeness(b *testing.B)    { benchTable(b, experiments.F5Completeness) }
+func BenchmarkF6TopologyInference(b *testing.B) {
+	benchTable(b, experiments.F6TopologyInference)
+}
+func BenchmarkT3FailureDetection(b *testing.B) { benchTable(b, experiments.T3FailureDetection) }
+func BenchmarkF7QueryLatency(b *testing.B)     { benchTable(b, experiments.F7QueryLatency) }
+func BenchmarkF8MeshVsStar(b *testing.B)       { benchTable(b, experiments.F8MeshVsStar) }
+func BenchmarkT4OverheadSplit(b *testing.B)    { benchTable(b, experiments.T4OverheadSplit) }
+
+func BenchmarkAblationBatching(b *testing.B)   { benchTable(b, experiments.AblationBatching) }
+func BenchmarkAblationDropPolicy(b *testing.B) { benchTable(b, experiments.AblationDropPolicy) }
+func BenchmarkAblationCapture(b *testing.B)    { benchTable(b, experiments.AblationCapture) }
+func BenchmarkAblationRouteTimeout(b *testing.B) {
+	benchTable(b, experiments.AblationRouteTimeout)
+}
+
+func BenchmarkF9LatencyVsHops(b *testing.B) { benchTable(b, experiments.F9LatencyVsHops) }
+func BenchmarkF10Mobility(b *testing.B)     { benchTable(b, experiments.F10Mobility) }
+func BenchmarkF11StarADR(b *testing.B)      { benchTable(b, experiments.F11StarADR) }
+
+func BenchmarkAblationSNRRouting(b *testing.B) { benchTable(b, experiments.AblationSNRRouting) }
+
+func BenchmarkT5IngestThroughput(b *testing.B) { benchTable(b, experiments.T5IngestThroughput) }
+
+func BenchmarkF12LargeTransfers(b *testing.B) { benchTable(b, experiments.F12LargeTransfers) }

@@ -1,0 +1,86 @@
+// Command meshmon-collector runs the monitoring server standalone: the
+// JSON ingest API, the web dashboard and the alert engine, backed by the
+// in-memory time-series store. Monitoring clients (or meshmon-replay)
+// POST wire.Batch JSON to /api/v1/ingest.
+package main
+
+import (
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"lorameshmon/internal/alert"
+	"lorameshmon/internal/collector"
+	"lorameshmon/internal/dashboard"
+	"lorameshmon/internal/tsdb"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		retention  = flag.Float64("retention", 0, "drop samples older than this many seconds behind the newest (0 = keep all)")
+		recent     = flag.Int("recent", 1000, "packet records kept for the live-traffic view")
+		hbTimeout  = flag.Float64("node-down-after", 90, "node-down alert after this many record-seconds of heartbeat silence")
+		checkEvery = flag.Duration("check-every", 10*time.Second, "alert evaluation cadence (wall clock)")
+		title      = flag.String("title", "LoRa Mesh Monitor", "dashboard title")
+		snapshot   = flag.String("snapshot", "", "persist the time-series store to this file")
+		snapEvery  = flag.Duration("snapshot-every", time.Minute, "snapshot cadence when -snapshot is set")
+	)
+	flag.Parse()
+
+	db := tsdb.New()
+	if *snapshot != "" {
+		if err := db.RestoreFile(*snapshot); err == nil {
+			log.Printf("restored time-series store from %s (%d points)", *snapshot, db.PointCount())
+		} else if !os.IsNotExist(errUnwrapAll(err)) {
+			log.Printf("warning: could not restore %s: %v", *snapshot, err)
+		}
+	}
+	coll := collector.New(db, collector.Config{
+		RecentPackets: *recent,
+		RetentionS:    *retention,
+	})
+	engine := alert.NewEngine(coll, alert.Config{HeartbeatTimeoutS: *hbTimeout})
+	dash := dashboard.New(coll, engine, dashboard.Config{Title: *title})
+
+	// Evaluate alert rules periodically against record time: MaxTS is the
+	// newest timestamp any client reported, which keeps replayed and live
+	// data on one clock.
+	go func() {
+		for range time.Tick(*checkEvery) {
+			for _, a := range engine.Check(coll.MaxTS()) {
+				log.Printf("ALERT [%s] %s: %s", a.Severity, a.Kind, a.Message)
+			}
+		}
+	}()
+
+	if *snapshot != "" {
+		go func() {
+			for range time.Tick(*snapEvery) {
+				if err := db.SnapshotFile(*snapshot); err != nil {
+					log.Printf("snapshot failed: %v", err)
+				}
+			}
+		}()
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/api/", coll.APIHandler())
+	mux.Handle("/", dash.Handler())
+	log.Printf("meshmon-collector listening on %s (dashboard at /, ingest at /api/v1/ingest)", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// errUnwrapAll unwraps to the innermost error for os.IsNotExist checks.
+func errUnwrapAll(err error) error {
+	for {
+		inner := errors.Unwrap(err)
+		if inner == nil {
+			return err
+		}
+		err = inner
+	}
+}

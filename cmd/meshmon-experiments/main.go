@@ -1,0 +1,57 @@
+// Command meshmon-experiments regenerates every table and figure of the
+// evaluation (see DESIGN.md for the experiment index and EXPERIMENTS.md
+// for recorded results).
+//
+// Usage:
+//
+//	meshmon-experiments             # run everything
+//	meshmon-experiments -only F5,T1 # run a subset by ID or name
+//	meshmon-experiments -list       # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lorameshmon/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment IDs or names to run")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+	selected := map[string]bool{}
+	for _, tok := range strings.Split(*only, ",") {
+		tok = strings.TrimSpace(strings.ToLower(tok))
+		if tok != "" {
+			selected[tok] = true
+		}
+	}
+	ran := 0
+	for _, e := range all {
+		if len(selected) > 0 &&
+			!selected[strings.ToLower(e.ID)] && !selected[strings.ToLower(e.Name)] {
+			continue
+		}
+		start := time.Now()
+		table := e.Run()
+		fmt.Println(table.Format())
+		fmt.Printf("(%s generated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches %q; use -list\n", *only)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,70 @@
+// Command meshmon-replay feeds recorded telemetry (the JSONL files
+// meshmon-sim -record writes: one wire.Batch per line) into a live
+// collector over HTTP — the end-to-end proof that the client wire
+// format, the HTTP uplink and the server ingest interoperate.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"lorameshmon/internal/uplink"
+	"lorameshmon/internal/wire"
+)
+
+func main() {
+	var (
+		file  = flag.String("file", "", "JSONL file of wire.Batch lines (required)")
+		url   = flag.String("url", "http://localhost:8080/api/v1/ingest", "collector ingest endpoint")
+		pace  = flag.Duration("pace", 0, "delay between batches (0 = as fast as possible)")
+		limit = flag.Int("limit", 0, "stop after this many batches (0 = all)")
+	)
+	flag.Parse()
+	if *file == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	up := uplink.NewHTTP(*url)
+	scanner := bufio.NewScanner(f)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	sent, failed := 0, 0
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		batch, err := wire.DecodeBatch(line)
+		if err != nil {
+			log.Printf("skipping malformed line: %v", err)
+			failed++
+			continue
+		}
+		if err := up.SendSync(batch); err != nil {
+			log.Printf("batch %d from %v rejected: %v", batch.SeqNo, batch.Node, err)
+			failed++
+			continue
+		}
+		sent++
+		if *limit > 0 && sent >= *limit {
+			break
+		}
+		if *pace > 0 {
+			time.Sleep(*pace)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replayed %d batches (%d failed) to %s\n", sent, failed, *url)
+}

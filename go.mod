@@ -1,0 +1,3 @@
+module lorameshmon
+
+go 1.22

@@ -1,0 +1,431 @@
+// Package agent implements the paper's client side: a monitoring agent
+// that runs on every LoRa mesh node, captures detailed information about
+// the node's in- and outgoing LoRa packets (plus routing-table snapshots,
+// counter summaries and heartbeats), buffers it locally, and periodically
+// ships batches to the monitoring server over the out-of-band uplink.
+//
+// The agent observes the mesh router through its Tap, so instrumentation
+// never perturbs protocol behaviour. Buffering across uplink failures,
+// the bounded-buffer drop policy and batch sizing are all configurable —
+// they are the design choices the evaluation ablates.
+package agent
+
+import (
+	"time"
+
+	"lorameshmon/internal/mesh"
+	"lorameshmon/internal/radio"
+	"lorameshmon/internal/simkit"
+	"lorameshmon/internal/uplink"
+	"lorameshmon/internal/wire"
+)
+
+// Config tunes the monitoring client. Zero fields take defaults.
+type Config struct {
+	// ReportInterval is the upload cadence.
+	ReportInterval time.Duration
+	// StatsInterval is how often a NodeStats summary is recorded.
+	StatsInterval time.Duration
+	// RouteInterval is how often a routing-table snapshot is recorded.
+	RouteInterval time.Duration
+	// HeartbeatInterval is how often a liveness heartbeat is recorded.
+	HeartbeatInterval time.Duration
+	// BufferCap bounds the local record buffer.
+	BufferCap int
+	// MaxBatchRecords caps records per upload batch.
+	MaxBatchRecords int
+	// RetryMin/RetryMax bound the exponential upload retry backoff.
+	RetryMin time.Duration
+	RetryMax time.Duration
+	// DropNewest switches the overflow policy from drop-oldest (default,
+	// keeps the most recent telemetry) to drop-newest (keeps history).
+	DropNewest bool
+	// DisableBuffering makes uploads fire-and-forget: records from a
+	// failed batch are discarded instead of retried. Ablated in F5.
+	DisableBuffering bool
+	// DisablePacketCapture turns off per-packet records, leaving only
+	// summaries — the low-bandwidth mode of T2/T4.
+	DisablePacketCapture bool
+	// Firmware is reported in heartbeats.
+	Firmware string
+}
+
+// DefaultConfig reports every 30 s, summarises stats every 60 s,
+// snapshots routes every 120 s and heartbeats every 30 s.
+func DefaultConfig() Config {
+	return Config{
+		ReportInterval:    30 * time.Second,
+		StatsInterval:     60 * time.Second,
+		RouteInterval:     120 * time.Second,
+		HeartbeatInterval: 30 * time.Second,
+		BufferCap:         2048,
+		MaxBatchRecords:   256,
+		RetryMin:          5 * time.Second,
+		RetryMax:          5 * time.Minute,
+		Firmware:          "meshmon-sim/1.0",
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.ReportInterval <= 0 {
+		c.ReportInterval = d.ReportInterval
+	}
+	if c.StatsInterval <= 0 {
+		c.StatsInterval = d.StatsInterval
+	}
+	if c.RouteInterval <= 0 {
+		c.RouteInterval = d.RouteInterval
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = d.HeartbeatInterval
+	}
+	if c.BufferCap <= 0 {
+		c.BufferCap = d.BufferCap
+	}
+	if c.MaxBatchRecords <= 0 {
+		c.MaxBatchRecords = d.MaxBatchRecords
+	}
+	if c.RetryMin <= 0 {
+		c.RetryMin = d.RetryMin
+	}
+	if c.RetryMax < c.RetryMin {
+		c.RetryMax = d.RetryMax
+		if c.RetryMax < c.RetryMin {
+			c.RetryMax = 10 * c.RetryMin
+		}
+	}
+	if c.Firmware == "" {
+		c.Firmware = d.Firmware
+	}
+	return c
+}
+
+// record is a buffered telemetry item (exactly one field set).
+type record struct {
+	pkt   *wire.PacketRecord
+	route *wire.RouteSnapshot
+	stats *wire.NodeStats
+	hb    *wire.Heartbeat
+}
+
+// Counters tracks the agent's own health.
+type Counters struct {
+	PacketEvents    uint64 // LoRa packet events observed at the tap
+	Captured        uint64 // records accepted into the buffer
+	OverflowDropped uint64 // records evicted by the bounded buffer
+	UnbufferedLost  uint64 // records discarded after a failed upload (buffering off)
+	BatchesSent     uint64
+	BatchesAcked    uint64
+	BatchesFailed   uint64
+	RecordsShipped  uint64 // records in acked batches
+	BufferHighWater int
+}
+
+// Agent is one node's monitoring client.
+type Agent struct {
+	sim    *simkit.Sim
+	router *mesh.Router
+	up     uplink.Uplink
+	cfg    Config
+
+	node    wire.NodeID
+	started simkit.Time
+	running bool
+
+	buf          []record
+	seqNo        uint64
+	inFlight     bool
+	backoff      time.Duration
+	retryEv      *simkit.Event
+	retryPending bool
+	tickers      []*simkit.Ticker
+
+	counters Counters
+}
+
+// New builds an agent for router, shipping through up. The agent
+// installs itself as the router's tap; call Start to begin reporting.
+func New(sim *simkit.Sim, router *mesh.Router, up uplink.Uplink, cfg Config) *Agent {
+	a := &Agent{
+		sim:    sim,
+		router: router,
+		up:     up,
+		cfg:    cfg.withDefaults(),
+		node:   wire.NodeID(router.ID()),
+	}
+	router.SetTap(a.tap())
+	return a
+}
+
+// Node returns the agent's node ID.
+func (a *Agent) Node() wire.NodeID { return a.node }
+
+// Config returns the effective configuration.
+func (a *Agent) Config() Config { return a.cfg }
+
+// Uplink returns the uplink the agent ships through (for accounting).
+func (a *Agent) Uplink() uplink.Uplink { return a.up }
+
+// Counters returns a snapshot of the agent's counters.
+func (a *Agent) Counters() Counters { return a.counters }
+
+// BufferLen returns the number of records waiting to be shipped.
+func (a *Agent) BufferLen() int { return len(a.buf) }
+
+// Running reports whether the agent is active.
+func (a *Agent) Running() bool { return a.running }
+
+// Start begins periodic recording and uploading.
+func (a *Agent) Start() {
+	if a.running {
+		return
+	}
+	a.running = true
+	a.started = a.sim.Now()
+	a.backoff = 0
+	// Capture an initial heartbeat so the server learns about the node
+	// on the first report, then run the periodic duties.
+	a.recordHeartbeat()
+	a.tickers = []*simkit.Ticker{
+		a.sim.Every(a.cfg.HeartbeatInterval, a.recordHeartbeat),
+		a.sim.Every(a.cfg.StatsInterval, a.recordStats),
+		a.sim.Every(a.cfg.RouteInterval, a.recordRoutes),
+		a.sim.Every(simkit.Jitter(a.sim.Rand(), a.cfg.ReportInterval, 0.05), a.flush),
+	}
+}
+
+// Stop halts reporting. Buffered records are retained for a later Start.
+func (a *Agent) Stop() {
+	if !a.running {
+		return
+	}
+	a.running = false
+	for _, t := range a.tickers {
+		t.Stop()
+	}
+	a.tickers = nil
+	if a.retryEv != nil {
+		a.retryEv.Stop()
+	}
+	a.retryPending = false
+}
+
+// now returns seconds since the run epoch, the wire timestamp unit.
+func (a *Agent) now() float64 { return a.sim.Now().Seconds() }
+
+// --- capture side ---
+
+func (a *Agent) tap() mesh.Tap {
+	return mesh.Tap{
+		PacketIn: func(p mesh.Packet, info radio.RxInfo, forUs bool) {
+			if a.cfg.DisablePacketCapture || !a.running {
+				return
+			}
+			a.counters.PacketEvents++
+			r := a.packetRecord(p, wire.EventRx)
+			r.RSSIdBm = info.RSSIdBm
+			r.SNRdB = info.SNRdB
+			r.ForUs = forUs
+			r.AirtimeMS = info.Airtime.Seconds() * 1000
+			a.push(record{pkt: r})
+		},
+		PacketOut: func(p mesh.Packet, airtime time.Duration) {
+			if a.cfg.DisablePacketCapture || !a.running {
+				return
+			}
+			a.counters.PacketEvents++
+			r := a.packetRecord(p, wire.EventTx)
+			r.AirtimeMS = airtime.Seconds() * 1000
+			a.push(record{pkt: r})
+		},
+		PacketDropped: func(p mesh.Packet, reason mesh.DropReason) {
+			if a.cfg.DisablePacketCapture || !a.running {
+				return
+			}
+			a.counters.PacketEvents++
+			r := a.packetRecord(p, wire.EventDrop)
+			r.Reason = string(reason)
+			a.push(record{pkt: r})
+		},
+	}
+}
+
+func (a *Agent) packetRecord(p mesh.Packet, ev wire.Event) *wire.PacketRecord {
+	return &wire.PacketRecord{
+		TS:    a.now(),
+		Node:  a.node,
+		Event: ev,
+		Type:  p.Type.String(),
+		Src:   wire.NodeID(p.Src),
+		Dst:   wire.NodeID(p.Dst),
+		Via:   wire.NodeID(p.Via),
+		Seq:   p.Seq,
+		TTL:   p.TTL,
+		Size:  p.Size(),
+	}
+}
+
+func (a *Agent) recordHeartbeat() {
+	a.push(record{hb: &wire.Heartbeat{
+		TS:       a.now(),
+		Node:     a.node,
+		UptimeS:  a.sim.Now().Sub(a.started).Seconds(),
+		Firmware: a.cfg.Firmware,
+	}})
+}
+
+func (a *Agent) recordStats() {
+	c := a.router.Counters()
+	rc := a.router.Radio().Counters()
+	lim := a.router.Radio().Limiter()
+	a.push(record{stats: &wire.NodeStats{
+		TS:      a.now(),
+		Node:    a.node,
+		UptimeS: a.sim.Now().Sub(a.started).Seconds(),
+
+		HelloSent: c.HelloSent,
+		DataSent:  c.DataSent,
+		AckSent:   c.AckSent,
+		Forwarded: c.Forwarded,
+
+		HelloRecv:     c.HelloRecv,
+		DataRecv:      c.DataRecv,
+		AckRecv:       c.AckRecv,
+		Overheard:     c.Overheard,
+		Delivered:     c.Delivered,
+		DupSuppressed: c.DupSuppressed,
+
+		DropNoRoute:    c.DropNoRoute,
+		DropTTL:        c.DropTTL,
+		DropQueueFull:  c.DropQueueFull,
+		DropAckTimeout: c.DropAckTimeout,
+
+		RetriesSpent: c.RetriesSpent,
+		SendFailures: c.SendFailures,
+		RouteCount:   a.router.Table().Len(),
+		QueueLen:     a.router.QueueLen(),
+
+		AirtimeMS:      lim.TotalAirtime().Seconds() * 1000,
+		DutyCycleUsed:  lim.Utilization(a.sim.Now()),
+		DutyBlocked:    lim.Blocked(),
+		RxMissWeak:     rc.MissWeak,
+		RxMissCollided: rc.MissCollision,
+	}})
+}
+
+func (a *Agent) recordRoutes() {
+	now := a.sim.Now()
+	routes := a.router.Table().Snapshot()
+	entries := make([]wire.RouteEntry, len(routes))
+	for i, r := range routes {
+		entries[i] = wire.RouteEntry{
+			Dst:     wire.NodeID(r.Dst),
+			NextHop: wire.NodeID(r.NextHop),
+			Metric:  r.Metric,
+			AgeS:    now.Sub(r.LastSeen).Seconds(),
+			SNRdB:   r.SNRdB,
+		}
+	}
+	a.push(record{route: &wire.RouteSnapshot{TS: a.now(), Node: a.node, Routes: entries}})
+}
+
+// push appends a record, applying the bounded-buffer drop policy.
+func (a *Agent) push(r record) {
+	if !a.running {
+		return
+	}
+	if len(a.buf) >= a.cfg.BufferCap {
+		a.counters.OverflowDropped++
+		if a.cfg.DropNewest {
+			return // discard the incoming record
+		}
+		a.buf = a.buf[1:] // discard the oldest
+	}
+	a.buf = append(a.buf, r)
+	a.counters.Captured++
+	if len(a.buf) > a.counters.BufferHighWater {
+		a.counters.BufferHighWater = len(a.buf)
+	}
+}
+
+// --- upload side ---
+
+func (a *Agent) flush() {
+	// While a retry is scheduled the periodic ticker stays quiet; only
+	// the backoff timer (which clears retryPending) resumes uploads.
+	if !a.running || a.inFlight || a.retryPending || len(a.buf) == 0 {
+		return
+	}
+	n := len(a.buf)
+	if n > a.cfg.MaxBatchRecords {
+		n = a.cfg.MaxBatchRecords
+	}
+	take := make([]record, n)
+	copy(take, a.buf[:n])
+	a.buf = a.buf[n:]
+
+	a.seqNo++
+	batch := wire.Batch{Node: a.node, SeqNo: a.seqNo, SentAt: a.now()}
+	for _, r := range take {
+		switch {
+		case r.pkt != nil:
+			batch.Packets = append(batch.Packets, *r.pkt)
+		case r.route != nil:
+			batch.Routes = append(batch.Routes, *r.route)
+		case r.stats != nil:
+			batch.Stats = append(batch.Stats, *r.stats)
+		case r.hb != nil:
+			batch.Heartbeats = append(batch.Heartbeats, *r.hb)
+		}
+	}
+	a.inFlight = true
+	a.counters.BatchesSent++
+	a.up.Send(batch, func(err error) { a.uploadDone(take, batch, err) })
+}
+
+func (a *Agent) uploadDone(taken []record, batch wire.Batch, err error) {
+	a.inFlight = false
+	if err == nil {
+		a.counters.BatchesAcked++
+		a.counters.RecordsShipped += uint64(batch.Len())
+		a.backoff = 0
+		// Drain any backlog promptly (post-outage recovery).
+		if len(a.buf) >= a.cfg.MaxBatchRecords {
+			a.sim.After(0, a.flush)
+		}
+		return
+	}
+	a.counters.BatchesFailed++
+	if a.cfg.DisableBuffering {
+		a.counters.UnbufferedLost += uint64(len(taken))
+	} else {
+		// Re-queue the failed records ahead of newer ones, re-applying
+		// the buffer bound.
+		a.buf = append(taken, a.buf...)
+		for len(a.buf) > a.cfg.BufferCap {
+			a.counters.OverflowDropped++
+			if a.cfg.DropNewest {
+				a.buf = a.buf[:len(a.buf)-1]
+			} else {
+				a.buf = a.buf[1:]
+			}
+		}
+	}
+	if a.backoff == 0 {
+		a.backoff = a.cfg.RetryMin
+	} else {
+		a.backoff *= 2
+		if a.backoff > a.cfg.RetryMax {
+			a.backoff = a.cfg.RetryMax
+		}
+	}
+	if a.retryEv != nil {
+		a.retryEv.Stop()
+	}
+	a.retryPending = true
+	a.retryEv = a.sim.After(a.backoff, func() {
+		a.retryPending = false
+		a.flush()
+	})
+}

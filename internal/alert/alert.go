@@ -1,0 +1,247 @@
+// Package alert evaluates alerting rules over the collector's state —
+// the operational half of the paper's "network administrators can
+// further analyse the mesh": node-down detection from missed heartbeats,
+// duty-cycle pressure warnings and upload-loss warnings.
+//
+// The engine is pull-based: call Check with the current reference time
+// (simulated seconds, or wall seconds for a live collector) on whatever
+// cadence suits the deployment.
+package alert
+
+import (
+	"fmt"
+	"sort"
+
+	"lorameshmon/internal/collector"
+	"lorameshmon/internal/wire"
+)
+
+// Kind classifies an alert.
+type Kind string
+
+// Alert kinds.
+const (
+	KindNodeDown   Kind = "node-down"
+	KindDutyCycle  Kind = "duty-cycle-pressure"
+	KindUploadLoss Kind = "upload-loss"
+)
+
+// Severity orders alerts for display.
+type Severity int
+
+// Severities.
+const (
+	SeverityWarning Severity = iota + 1
+	SeverityCritical
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SeverityWarning:
+		return "warning"
+	case SeverityCritical:
+		return "critical"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// Alert is one detected condition.
+type Alert struct {
+	Kind     Kind
+	Node     wire.NodeID
+	Severity Severity
+	// FiredAt is the reference time the condition was first detected.
+	FiredAt float64
+	// ResolvedAt is set when the condition cleared (history entries).
+	ResolvedAt float64
+	Resolved   bool
+	Message    string
+}
+
+// Config tunes the rules.
+type Config struct {
+	// HeartbeatTimeoutS fires node-down when a node's newest heartbeat
+	// is older than this many seconds. The paper's client heartbeats
+	// every report interval, so 3 missed reports is the natural default.
+	HeartbeatTimeoutS float64
+	// DutyWarnFraction fires duty-cycle pressure when a node's reported
+	// utilisation exceeds this fraction of the regulatory limit.
+	DutyWarnFraction float64
+	// DutyLimit is the regulatory duty cycle (EU868: 0.01).
+	DutyLimit float64
+	// LossWarnBatches fires upload-loss when a node's lost-batch count
+	// grows past this threshold.
+	LossWarnBatches uint64
+}
+
+// DefaultConfig matches the default agent (30 s heartbeats): down after
+// 90 s of silence, duty warning at 80% of the EU868 limit, upload-loss
+// warning after 3 lost batches.
+func DefaultConfig() Config {
+	return Config{
+		HeartbeatTimeoutS: 90,
+		DutyWarnFraction:  0.8,
+		DutyLimit:         0.01,
+		LossWarnBatches:   3,
+	}
+}
+
+type alertKey struct {
+	kind Kind
+	node wire.NodeID
+}
+
+// Engine evaluates rules and tracks alert lifecycles.
+type Engine struct {
+	coll    *collector.Collector
+	cfg     Config
+	active  map[alertKey]*Alert
+	history []Alert
+	// lossSeen remembers the lost-batch count already alerted on so the
+	// rule re-fires only when losses grow.
+	lossSeen map[wire.NodeID]uint64
+}
+
+// NewEngine builds an engine over coll.
+func NewEngine(coll *collector.Collector, cfg Config) *Engine {
+	d := DefaultConfig()
+	if cfg.HeartbeatTimeoutS <= 0 {
+		cfg.HeartbeatTimeoutS = d.HeartbeatTimeoutS
+	}
+	if cfg.DutyWarnFraction <= 0 || cfg.DutyWarnFraction > 1 {
+		cfg.DutyWarnFraction = d.DutyWarnFraction
+	}
+	if cfg.DutyLimit <= 0 {
+		cfg.DutyLimit = d.DutyLimit
+	}
+	if cfg.LossWarnBatches == 0 {
+		cfg.LossWarnBatches = d.LossWarnBatches
+	}
+	return &Engine{
+		coll:     coll,
+		cfg:      cfg,
+		active:   make(map[alertKey]*Alert),
+		lossSeen: make(map[wire.NodeID]uint64),
+	}
+}
+
+// Config returns the effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Active returns currently-firing alerts sorted by (kind, node).
+func (e *Engine) Active() []Alert {
+	out := make([]Alert, 0, len(e.active))
+	for _, a := range e.active {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// History returns resolved alerts in resolution order.
+func (e *Engine) History() []Alert {
+	out := make([]Alert, len(e.history))
+	copy(out, e.history)
+	return out
+}
+
+// Check evaluates all rules at reference time now (seconds in record
+// time) and returns newly fired alerts.
+func (e *Engine) Check(now float64) []Alert {
+	var fired []Alert
+	fired = append(fired, e.checkNodeDown(now)...)
+	fired = append(fired, e.checkDutyCycle(now)...)
+	fired = append(fired, e.checkUploadLoss(now)...)
+	return fired
+}
+
+func (e *Engine) fire(key alertKey, a Alert) *Alert {
+	cp := a
+	e.active[key] = &cp
+	return &cp
+}
+
+func (e *Engine) resolve(key alertKey, now float64) {
+	a, ok := e.active[key]
+	if !ok {
+		return
+	}
+	delete(e.active, key)
+	a.Resolved = true
+	a.ResolvedAt = now
+	e.history = append(e.history, *a)
+}
+
+func (e *Engine) checkNodeDown(now float64) []Alert {
+	var fired []Alert
+	for _, n := range e.coll.Nodes() {
+		key := alertKey{kind: KindNodeDown, node: n.ID}
+		silent := now-n.LastBeatTS > e.cfg.HeartbeatTimeoutS
+		switch {
+		case silent && e.active[key] == nil:
+			a := e.fire(key, Alert{
+				Kind: KindNodeDown, Node: n.ID, Severity: SeverityCritical,
+				FiredAt: now,
+				Message: fmt.Sprintf("%v silent for %.0fs (last heartbeat at %.0fs)",
+					n.ID, now-n.LastBeatTS, n.LastBeatTS),
+			})
+			fired = append(fired, *a)
+		case !silent:
+			e.resolve(key, now)
+		}
+	}
+	return fired
+}
+
+func (e *Engine) checkDutyCycle(now float64) []Alert {
+	var fired []Alert
+	threshold := e.cfg.DutyWarnFraction * e.cfg.DutyLimit
+	for _, n := range e.coll.Nodes() {
+		if n.LastStats == nil {
+			continue
+		}
+		key := alertKey{kind: KindDutyCycle, node: n.ID}
+		over := n.LastStats.DutyCycleUsed >= threshold
+		switch {
+		case over && e.active[key] == nil:
+			a := e.fire(key, Alert{
+				Kind: KindDutyCycle, Node: n.ID, Severity: SeverityWarning,
+				FiredAt: now,
+				Message: fmt.Sprintf("%v duty cycle %.3f%% is %.0f%% of the %s limit",
+					n.ID, 100*n.LastStats.DutyCycleUsed,
+					100*n.LastStats.DutyCycleUsed/e.cfg.DutyLimit, "EU868"),
+			})
+			fired = append(fired, *a)
+		case !over:
+			e.resolve(key, now)
+		}
+	}
+	return fired
+}
+
+func (e *Engine) checkUploadLoss(now float64) []Alert {
+	var fired []Alert
+	for _, n := range e.coll.Nodes() {
+		key := alertKey{kind: KindUploadLoss, node: n.ID}
+		seen := e.lossSeen[n.ID]
+		if n.BatchesLost >= seen+e.cfg.LossWarnBatches {
+			e.lossSeen[n.ID] = n.BatchesLost
+			// Re-fire even if active: growing loss is new information.
+			e.resolve(key, now)
+			a := e.fire(key, Alert{
+				Kind: KindUploadLoss, Node: n.ID, Severity: SeverityWarning,
+				FiredAt: now,
+				Message: fmt.Sprintf("%v has lost %d upload batches in total",
+					n.ID, n.BatchesLost),
+			})
+			fired = append(fired, *a)
+		}
+	}
+	return fired
+}

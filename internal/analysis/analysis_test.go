@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"lorameshmon/internal/collector"
+	"lorameshmon/internal/phy"
+	"lorameshmon/internal/radio"
+	"lorameshmon/internal/scenario"
+	"lorameshmon/internal/tsdb"
+	"lorameshmon/internal/wire"
+)
+
+// buildMonitoredLine runs a 3-node monitored line mesh for d and returns
+// the deployment plus its collector.
+func buildMonitoredLine(t *testing.T, seed int64, n int, d time.Duration) (*scenario.Deployment, *collector.Collector) {
+	t.Helper()
+	coll := collector.New(tsdb.New(), collector.DefaultConfig())
+	spec := scenario.DefaultSpec()
+	spec.Seed = seed
+	spec.N = n
+	spec.Layout = scenario.Line
+	spec.SpacingM = 16.5
+	spec.Region = phy.Unregulated()
+	spec.Radio.Channel = phy.FreeSpaceChannel()
+	spec.Radio.Channel.PathLossExponent = 8
+	spec.Radio.DeterministicDelivery = true
+	dep, err := scenario.Build(spec, coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.Start()
+	dep.RunFor(d)
+	return dep, coll
+}
+
+func TestInferTopologyMatchesLine(t *testing.T) {
+	dep, coll := buildMonitoredLine(t, 1, 3, 15*time.Minute)
+	inferred := InferTopology(coll, 0, 2)
+	truth := TrueTopology(dep.Medium)
+	// A 3-node line has 4 directed edges.
+	if truth.Len() != 4 {
+		t.Fatalf("truth edges = %d, want 4", truth.Len())
+	}
+	acc := CompareTopology(inferred, truth)
+	if acc.Precision != 1 || acc.Recall != 1 || acc.F1 != 1 {
+		t.Fatalf("accuracy = %+v (inferred %d edges)", acc, inferred.Len())
+	}
+	nodes := inferred.Nodes()
+	if len(nodes) != 3 || nodes[0] != 1 || nodes[2] != 3 {
+		t.Fatalf("nodes = %v", nodes)
+	}
+}
+
+func TestInferTopologyWindowing(t *testing.T) {
+	_, coll := buildMonitoredLine(t, 2, 3, 15*time.Minute)
+	// A window starting beyond the newest data sees nothing.
+	empty := InferTopology(coll, coll.MaxTS()+1, 1)
+	if empty.Len() != 0 {
+		t.Fatalf("future window produced %d edges", empty.Len())
+	}
+	// An absurd observation threshold filters everything.
+	none := InferTopology(coll, 0, 1<<40)
+	if none.Len() != 0 {
+		t.Fatal("minObs threshold not applied")
+	}
+}
+
+func TestCompareTopologyScores(t *testing.T) {
+	truth := NewTopology()
+	truth.Add(1, 2)
+	truth.Add(2, 1)
+	truth.Add(2, 3)
+	truth.Add(3, 2)
+	inferred := NewTopology()
+	inferred.Add(1, 2) // TP
+	inferred.Add(2, 1) // TP
+	inferred.Add(1, 3) // FP
+	acc := CompareTopology(inferred, truth)
+	if acc.TruePositives != 2 || acc.FalsePositives != 1 || acc.FalseNegatives != 2 {
+		t.Fatalf("acc = %+v", acc)
+	}
+	if math.Abs(acc.Precision-2.0/3) > 1e-9 || math.Abs(acc.Recall-0.5) > 1e-9 {
+		t.Fatalf("P/R = %v/%v", acc.Precision, acc.Recall)
+	}
+	empty := CompareTopology(NewTopology(), NewTopology())
+	if empty.Precision != 0 || empty.Recall != 0 || empty.F1 != 0 {
+		t.Fatalf("empty compare = %+v", empty)
+	}
+}
+
+func TestNetworkPDRFromStats(t *testing.T) {
+	dep, coll := buildMonitoredLine(t, 3, 3, 10*time.Minute)
+	if err := dep.ConvergecastTraffic(1, time.Minute, 16, false); err != nil {
+		t.Fatal(err)
+	}
+	dep.RunFor(30 * time.Minute)
+	pdr, ok := NetworkPDRFromStats(coll)
+	if !ok {
+		t.Fatal("no PDR estimate")
+	}
+	truePDR := dep.PDR()
+	if math.Abs(pdr-truePDR) > 0.15 {
+		t.Fatalf("telemetry PDR %v far from ground truth %v", pdr, truePDR)
+	}
+}
+
+func TestNetworkPDRNoTraffic(t *testing.T) {
+	_, coll := buildMonitoredLine(t, 4, 2, 5*time.Minute)
+	if _, ok := NetworkPDRFromStats(coll); ok {
+		t.Fatal("PDR reported without any data traffic")
+	}
+}
+
+func TestConvergenceFromTelemetry(t *testing.T) {
+	dep, coll := buildMonitoredLine(t, 5, 3, 20*time.Minute)
+	ts, ok := ConvergenceFromTelemetry(coll, 3)
+	if !ok {
+		t.Fatal("convergence not detected in telemetry")
+	}
+	if ts <= 0 || ts > dep.Sim.Now().Seconds() {
+		t.Fatalf("convergence ts = %v", ts)
+	}
+	// Telemetry-visible convergence cannot happen before actual routing
+	// converged (stats lag behind).
+	if _, ok := ConvergenceFromTelemetry(coll, 4); ok {
+		t.Fatal("convergence reported for more nodes than exist")
+	}
+	if ts2, ok := ConvergenceFromTelemetry(coll, 1); !ok || ts2 != 0 {
+		t.Fatalf("degenerate case = %v, %v", ts2, ok)
+	}
+}
+
+func TestPacketEventsIngestedAndCompleteness(t *testing.T) {
+	_, coll := buildMonitoredLine(t, 6, 2, 15*time.Minute)
+	n := PacketEventsIngested(coll, 0, math.MaxFloat64)
+	if n == 0 {
+		t.Fatal("no packet events ingested")
+	}
+	if got := Completeness(n, n); got != 1 {
+		t.Fatalf("completeness(x,x) = %v", got)
+	}
+	if got := Completeness(n/2, n); math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("completeness(x/2,x) = %v", got)
+	}
+	if got := Completeness(n+10, n); got != 1 {
+		t.Fatalf("completeness clamp = %v", got)
+	}
+	if !math.IsNaN(Completeness(5, 0)) {
+		t.Fatal("completeness with zero actual not NaN")
+	}
+}
+
+func TestSilentNodes(t *testing.T) {
+	coll := collector.New(tsdb.New(), collector.DefaultConfig())
+	coll.Ingest(wire.Batch{Node: 1, SeqNo: 1, SentAt: 100,
+		Heartbeats: []wire.Heartbeat{{TS: 100, Node: 1}}})
+	coll.Ingest(wire.Batch{Node: 2, SeqNo: 1, SentAt: 100,
+		Heartbeats: []wire.Heartbeat{{TS: 10, Node: 2}}})
+	silent := SilentNodes(coll, 130, 60)
+	if len(silent) != 1 || silent[0] != 2 {
+		t.Fatalf("silent = %v", silent)
+	}
+	if got := SilentNodes(coll, 130, 500); len(got) != 0 {
+		t.Fatalf("all fresh but silent = %v", got)
+	}
+}
+
+func TestLinkMatrix(t *testing.T) {
+	_, coll := buildMonitoredLine(t, 7, 2, 15*time.Minute)
+	links := LinkMatrix(coll, phy.SF7, 0)
+	if len(links) != 2 {
+		t.Fatalf("links = %d, want 2 directed", len(links))
+	}
+	for _, l := range links {
+		if l.Count == 0 || l.MeanRSSI >= 0 {
+			t.Fatalf("link = %+v", l)
+		}
+		if math.Abs(l.Margin-(l.MeanSNR-phy.SNRFloorDB(phy.SF7))) > 1e-9 {
+			t.Fatalf("margin inconsistent: %+v", l)
+		}
+	}
+}
+
+func TestTrueTopologySymmetricLine(t *testing.T) {
+	dep, _ := buildMonitoredLine(t, 8, 4, time.Minute)
+	truth := TrueTopology(dep.Medium)
+	// 4-node line: 6 directed edges, and each edge's reverse exists.
+	if truth.Len() != 6 {
+		t.Fatalf("edges = %d, want 6", truth.Len())
+	}
+	for e := range truth.Edges {
+		if !truth.Has(e.Rx, e.Tx) {
+			t.Fatalf("edge %v not symmetric", e)
+		}
+	}
+	_ = radio.Broadcast // keep import for clarity of IDs
+}
+
+func TestAvailability(t *testing.T) {
+	coll := collector.New(tsdb.New(), collector.DefaultConfig())
+	// Heartbeats every 30s from 0 to 300, then silence until 600.
+	for i, ts := 0, 0.0; ts <= 300; i, ts = i+1, ts+30 {
+		coll.Ingest(wire.Batch{Node: 1, SeqNo: uint64(i + 1), SentAt: ts,
+			Heartbeats: []wire.Heartbeat{{TS: ts, Node: 1, UptimeS: ts}}})
+	}
+	got := Availability(coll, 1, 0, 600, 60)
+	// Alive 0..300 plus a 60s grace tail is not credited (gap 300 > 60):
+	// ~300/600 = 0.5.
+	if math.Abs(got-0.5) > 0.02 {
+		t.Fatalf("availability = %v, want ~0.5", got)
+	}
+	// Fully covered window.
+	if got := Availability(coll, 1, 0, 300, 60); math.Abs(got-1) > 0.01 {
+		t.Fatalf("covered availability = %v, want 1", got)
+	}
+	// Unknown node.
+	if !math.IsNaN(Availability(coll, 9, 0, 600, 60)) {
+		t.Fatal("availability for unknown node not NaN")
+	}
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// LatencySummary condenses a set of delivery latencies.
+type LatencySummary struct {
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	Max   time.Duration
+}
+
+// Percentile returns the p-quantile (0..1) of ds using nearest-rank on
+// a sorted copy. It returns 0 for empty input.
+func Percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Summarize computes count/mean/median/p95/max of ds.
+func Summarize(ds []time.Duration) LatencySummary {
+	s := LatencySummary{Count: len(ds)}
+	if len(ds) == 0 {
+		return s
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+		if d > s.Max {
+			s.Max = d
+		}
+	}
+	s.Mean = sum / time.Duration(len(ds))
+	s.P50 = Percentile(ds, 0.50)
+	s.P95 = Percentile(ds, 0.95)
+	return s
+}

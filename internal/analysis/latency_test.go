@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+
+func TestPercentile(t *testing.T) {
+	ds := []time.Duration{ms(50), ms(10), ms(30), ms(20), ms(40)}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, ms(10)},
+		{0.2, ms(10)},
+		{0.5, ms(30)},
+		{0.8, ms(40)},
+		{1, ms(50)},
+	}
+	for _, tc := range cases {
+		if got := Percentile(ds, tc.p); got != tc.want {
+			t.Errorf("P%.0f = %v, want %v", tc.p*100, got, tc.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile not zero")
+	}
+	// Input must not be mutated.
+	if ds[0] != ms(50) {
+		t.Fatal("Percentile sorted the caller's slice")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ds := []time.Duration{ms(10), ms(20), ms(30), ms(40)}
+	s := Summarize(ds)
+	if s.Count != 4 || s.Mean != ms(25) || s.Max != ms(40) || s.P50 != ms(20) {
+		t.Fatalf("summary = %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.Count != 0 || empty.Mean != 0 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []uint16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ds := make([]time.Duration, len(raw))
+		min, max := time.Duration(1<<62), time.Duration(0)
+		for i, v := range raw {
+			ds[i] = time.Duration(v)
+			if ds[i] < min {
+				min = ds[i]
+			}
+			if ds[i] > max {
+				max = ds[i]
+			}
+		}
+		pa, pb := float64(a)/255, float64(b)/255
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		qa, qb := Percentile(ds, pa), Percentile(ds, pb)
+		return qa <= qb && qa >= min && qb <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"lorameshmon/internal/phy"
+	"lorameshmon/internal/radio"
+	"lorameshmon/internal/simkit"
+)
+
+func starNet(t *testing.T, seed int64, deviceDistances []float64) (*simkit.Sim, *Network) {
+	t.Helper()
+	sim := simkit.New(seed)
+	cfg := radio.DefaultConfig()
+	cfg.Channel = phy.FreeSpaceChannel()
+	cfg.Channel.PathLossExponent = 8
+	cfg.DeterministicDelivery = true
+	medium := radio.NewMedium(sim, cfg)
+	gw, err := medium.AttachRadio(1, phy.Point{}, phy.DefaultParams(), phy.Unregulated())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := New(sim, gw)
+	for i, d := range deviceDistances {
+		rad, err := medium.AttachRadio(radio.ID(i+2), phy.Point{X: d}, phy.DefaultParams(), phy.Unregulated())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.AddDevice(rad, DeviceConfig{Interval: time.Minute, PayloadBytes: 20}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sim, net
+}
+
+func TestInRangeDeviceDelivers(t *testing.T) {
+	sim, net := starNet(t, 1, []float64{16})
+	net.Start()
+	sim.RunFor(30 * time.Minute)
+	st, ok := net.DeviceStats(2)
+	if !ok {
+		t.Fatal("device missing")
+	}
+	if st.Offered < 25 || st.Offered > 35 {
+		t.Fatalf("offered = %d, want ~30", st.Offered)
+	}
+	if st.Received != st.Transmitted {
+		t.Fatalf("received %d != transmitted %d on a clean link", st.Received, st.Transmitted)
+	}
+	if pdr := st.PDR(); pdr < 0.95 {
+		t.Fatalf("PDR = %v", pdr)
+	}
+}
+
+func TestOutOfRangeDeviceCannotReach(t *testing.T) {
+	sim, net := starNet(t, 2, []float64{16, 40}) // 40m is 2+ slots: below floor
+	net.Start()
+	sim.RunFor(30 * time.Minute)
+	near, _ := net.DeviceStats(2)
+	far, _ := net.DeviceStats(3)
+	if near.PDR() < 0.9 {
+		t.Fatalf("near device PDR = %v", near.PDR())
+	}
+	if far.Received != 0 {
+		t.Fatalf("far device delivered %d frames with no relay", far.Received)
+	}
+	totals := net.Totals()
+	if totals.Offered != near.Offered+far.Offered {
+		t.Fatalf("totals = %+v", totals)
+	}
+}
+
+func TestAlohaCollisionsHurtUnderLoad(t *testing.T) {
+	sim := simkit.New(3)
+	cfg := radio.DefaultConfig()
+	cfg.Channel = phy.FreeSpaceChannel()
+	cfg.Channel.PathLossExponent = 8
+	cfg.DeterministicDelivery = true
+	cfg.CaptureEnabled = false
+	medium := radio.NewMedium(sim, cfg)
+	gw, _ := medium.AttachRadio(1, phy.Point{}, phy.DefaultParams(), phy.Unregulated())
+	net := New(sim, gw)
+	// 30 nearby devices sending every 2 s: heavy ALOHA load.
+	for i := 0; i < 30; i++ {
+		rad, err := medium.AttachRadio(radio.ID(i+2), phy.Point{X: 10 + float64(i)/10},
+			phy.DefaultParams(), phy.Unregulated())
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.AddDevice(rad, DeviceConfig{Interval: 2 * time.Second, JitterFrac: 0.5, PayloadBytes: 20})
+	}
+	net.Start()
+	sim.RunFor(10 * time.Minute)
+	pdr := net.Totals().PDR()
+	if pdr > 0.6 {
+		t.Fatalf("PDR = %v under saturating ALOHA load, expected heavy collision loss", pdr)
+	}
+	if pdr == 0 {
+		t.Fatal("no frames at all delivered")
+	}
+}
+
+func TestDutyCycleBlocksAggressiveDevice(t *testing.T) {
+	sim := simkit.New(4)
+	cfg := radio.DefaultConfig()
+	cfg.Channel = phy.FreeSpaceChannel()
+	cfg.DeterministicDelivery = true
+	medium := radio.NewMedium(sim, cfg)
+	gw, _ := medium.AttachRadio(1, phy.Point{}, phy.DefaultParams(), phy.EU868())
+	net := New(sim, gw)
+	rad, _ := medium.AttachRadio(2, phy.Point{X: 50}, phy.DefaultParams(), phy.EU868())
+	net.AddDevice(rad, DeviceConfig{Interval: time.Second, PayloadBytes: 50})
+	net.Start()
+	sim.RunFor(10 * time.Minute)
+	st, _ := net.DeviceStats(2)
+	if st.DutyBlocked == 0 {
+		t.Fatal("1s uplinks under EU868 never hit the duty cycle")
+	}
+	if st.Transmitted >= st.Offered/2 {
+		t.Fatalf("transmitted %d of %d: regulator ineffective", st.Transmitted, st.Offered)
+	}
+}
+
+func TestValidationAndStop(t *testing.T) {
+	sim, net := starNet(t, 5, []float64{16})
+	if err := net.AddDevice(net.Gateway(), DefaultDeviceConfig()); err == nil {
+		t.Fatal("gateway as device accepted")
+	}
+	dup := net.devices[2].rad
+	if err := net.AddDevice(dup, DefaultDeviceConfig()); err == nil {
+		t.Fatal("duplicate device accepted")
+	}
+	net.Start()
+	sim.RunFor(5 * time.Minute)
+	st, _ := net.DeviceStats(2)
+	net.Stop()
+	sim.RunFor(30 * time.Minute)
+	after, _ := net.DeviceStats(2)
+	if after.Offered != st.Offered {
+		t.Fatal("stopped network kept offering uplinks")
+	}
+	if _, ok := net.DeviceStats(99); ok {
+		t.Fatal("unknown device stats")
+	}
+}

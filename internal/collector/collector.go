@@ -1,0 +1,402 @@
+// Package collector implements the paper's server side: it ingests
+// telemetry batches uploaded by the per-node monitoring clients,
+// maintains a registry of known nodes, and materialises the records into
+// the time-series store that feeds the dashboard and the analysis
+// library.
+//
+// # Metric schema
+//
+// Packet events:
+//
+//	mesh_packets{node,event,type}   1 per packet event (count with sum)
+//	mesh_packet_bytes{node,event}   frame size per event
+//	mesh_packet_rssi{node}          RSSI of received frames (dBm)
+//	mesh_packet_snr{node}           SNR of received frames (dB)
+//	mesh_airtime_ms{node}           time on air per transmitted frame
+//	mesh_drops{node,reason}         1 per drop event
+//
+// Node summaries (appended at the stats record's timestamp):
+//
+//	node_hello_sent / node_data_sent / node_ack_sent / node_forwarded
+//	node_hello_recv / node_data_recv / node_ack_recv / node_overheard
+//	node_delivered / node_dup_suppressed
+//	node_drop_no_route / node_drop_ttl / node_drop_queue_full /
+//	node_drop_ack_timeout
+//	node_retries / node_send_failures
+//	node_route_count / node_queue_len
+//	node_airtime_ms / node_duty_cycle / node_duty_blocked
+//	node_uptime (from heartbeats)
+//
+// Routing:
+//
+//	mesh_route_metric{node,dst}     hop count of node's route to dst
+package collector
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"lorameshmon/internal/tsdb"
+	"lorameshmon/internal/wire"
+)
+
+// Config tunes the collector.
+type Config struct {
+	// RecentPackets bounds the ring buffer of recent packet records kept
+	// for the dashboard's live-traffic view.
+	RecentPackets int
+	// Retention drops samples older than this many seconds behind the
+	// newest ingested timestamp; zero disables pruning.
+	RetentionS float64
+	// OnIngest, when set, is invoked (outside the collector's lock) for
+	// every successfully ingested batch — the hook for exporters and
+	// recorders.
+	OnIngest func(wire.Batch)
+}
+
+// DefaultConfig keeps the last 1000 packet records and all samples.
+func DefaultConfig() Config {
+	return Config{RecentPackets: 1000}
+}
+
+// NodeInfo is the registry's view of one mesh node.
+type NodeInfo struct {
+	ID          wire.NodeID
+	FirstSeenTS float64 // SentAt of the first batch
+	LastSeenTS  float64 // SentAt of the newest batch
+	LastBeatTS  float64 // timestamp of the newest heartbeat record
+	UptimeS     float64 // from the newest heartbeat
+	Firmware    string
+
+	BatchesOK   uint64
+	BatchesLost uint64 // upload-sequence gaps
+	BatchesDup  uint64
+	Records     uint64
+
+	LastStats  *wire.NodeStats
+	LastRoutes *wire.RouteSnapshot
+}
+
+// Stats summarises collector-wide activity.
+type Stats struct {
+	BatchesIngested uint64
+	BatchesRejected uint64
+	RecordsIngested uint64
+	NodesKnown      int
+}
+
+type nodeState struct {
+	info    NodeInfo
+	lastSeq uint64
+	seen    bool
+}
+
+// LinkObs aggregates the direct radio link tx→rx as observed from
+// received single-hop HELLO broadcasts (whose reporter always heard the
+// original transmitter directly).
+type LinkObs struct {
+	Tx, Rx   wire.NodeID
+	Count    uint64
+	FirstTS  float64
+	LastTS   float64
+	LastRSSI float64
+	LastSNR  float64
+	MeanRSSI float64
+	MeanSNR  float64
+}
+
+type linkKey struct{ tx, rx wire.NodeID }
+
+// Collector is the monitoring server core. It is safe for concurrent
+// use; the HTTP ingest path calls it from request goroutines.
+type Collector struct {
+	mu     sync.RWMutex
+	cfg    Config
+	db     *tsdb.DB
+	nodes  map[wire.NodeID]*nodeState
+	links  map[linkKey]*LinkObs
+	recent []wire.PacketRecord
+	stats  Stats
+	maxTS  float64
+}
+
+// New builds a collector writing into db.
+func New(db *tsdb.DB, cfg Config) *Collector {
+	if cfg.RecentPackets <= 0 {
+		cfg.RecentPackets = DefaultConfig().RecentPackets
+	}
+	return &Collector{
+		cfg:   cfg,
+		db:    db,
+		nodes: make(map[wire.NodeID]*nodeState),
+		links: make(map[linkKey]*LinkObs),
+	}
+}
+
+// DB exposes the underlying time-series store (dashboard, analysis).
+func (c *Collector) DB() *tsdb.DB { return c.db }
+
+// Stats returns collector-wide counters.
+func (c *Collector) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s := c.stats
+	s.NodesKnown = len(c.nodes)
+	return s
+}
+
+// Nodes returns the registry sorted by node ID.
+func (c *Collector) Nodes() []NodeInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]NodeInfo, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		out = append(out, n.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Node returns the registry entry for id.
+func (c *Collector) Node(id wire.NodeID) (NodeInfo, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n, ok := c.nodes[id]
+	if !ok {
+		return NodeInfo{}, false
+	}
+	return n.info, true
+}
+
+// Recent returns up to limit of the newest packet records, newest first.
+func (c *Collector) Recent(limit int) []wire.PacketRecord {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := len(c.recent)
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	out := make([]wire.PacketRecord, limit)
+	for i := 0; i < limit; i++ {
+		out[i] = c.recent[n-1-i]
+	}
+	return out
+}
+
+// MaxTS returns the newest record timestamp seen, the collector's notion
+// of "now" in record time.
+func (c *Collector) MaxTS() float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.maxTS
+}
+
+// Ingest implements uplink.Sink: it validates and stores one batch.
+func (c *Collector) Ingest(b wire.Batch) error {
+	if err := b.Validate(); err != nil {
+		c.mu.Lock()
+		c.stats.BatchesRejected++
+		c.mu.Unlock()
+		return fmt.Errorf("collector: %w", err)
+	}
+	stored, err := c.ingestLocked(b)
+	if err != nil {
+		return err
+	}
+	if stored && c.cfg.OnIngest != nil {
+		c.cfg.OnIngest(b)
+	}
+	return nil
+}
+
+// ingestLocked stores the batch and reports whether it was accepted
+// (false for duplicates).
+func (c *Collector) ingestLocked(b wire.Batch) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	st, ok := c.nodes[b.Node]
+	if !ok {
+		st = &nodeState{info: NodeInfo{ID: b.Node, FirstSeenTS: b.SentAt}}
+		c.nodes[b.Node] = st
+	}
+	switch {
+	case !st.seen:
+		st.seen = true
+	case b.SeqNo == st.lastSeq+1:
+		// in order
+	case b.SeqNo > st.lastSeq+1:
+		st.info.BatchesLost += b.SeqNo - st.lastSeq - 1
+	case b.SeqNo == 1:
+		// agent restarted; its sequence space reset
+	default:
+		st.info.BatchesDup++
+		return false, nil
+	}
+	st.lastSeq = b.SeqNo
+	st.info.BatchesOK++
+	st.info.Records += uint64(b.Len())
+	if b.SentAt > st.info.LastSeenTS {
+		st.info.LastSeenTS = b.SentAt
+	}
+	c.stats.BatchesIngested++
+	c.stats.RecordsIngested += uint64(b.Len())
+
+	for _, p := range b.Packets {
+		c.ingestPacket(p)
+	}
+	for _, r := range b.Routes {
+		r := r
+		c.ingestRoutes(st, r)
+	}
+	for _, s := range b.Stats {
+		s := s
+		c.ingestStats(st, s)
+	}
+	for _, h := range b.Heartbeats {
+		c.ingestHeartbeat(st, h)
+	}
+	if c.cfg.RetentionS > 0 && c.maxTS > c.cfg.RetentionS {
+		c.db.Prune(c.maxTS - c.cfg.RetentionS)
+	}
+	return true, nil
+}
+
+func (c *Collector) bump(ts float64) {
+	if ts > c.maxTS {
+		c.maxTS = ts
+	}
+}
+
+func (c *Collector) ingestPacket(p wire.PacketRecord) {
+	c.bump(p.TS)
+	node := p.Node.String()
+	ev := string(p.Event)
+	c.db.Append("mesh_packets", tsdb.Labels{"node": node, "event": ev, "type": p.Type}, p.TS, 1)
+	c.db.Append("mesh_packet_bytes", tsdb.Labels{"node": node, "event": ev}, p.TS, float64(p.Size))
+	switch p.Event {
+	case wire.EventRx:
+		c.db.Append("mesh_packet_rssi", tsdb.Labels{"node": node}, p.TS, p.RSSIdBm)
+		c.db.Append("mesh_packet_snr", tsdb.Labels{"node": node}, p.TS, p.SNRdB)
+	case wire.EventTx:
+		c.db.Append("mesh_airtime_ms", tsdb.Labels{"node": node, "type": p.Type}, p.TS, p.AirtimeMS)
+	case wire.EventDrop:
+		c.db.Append("mesh_drops", tsdb.Labels{"node": node, "reason": p.Reason}, p.TS, 1)
+	}
+	c.recent = append(c.recent, p)
+	if over := len(c.recent) - c.cfg.RecentPackets; over > 0 {
+		c.recent = append([]wire.PacketRecord(nil), c.recent[over:]...)
+	}
+	// Received HELLOs are single-hop by construction, so src really is
+	// the link-layer transmitter: aggregate the direct link src→node.
+	if p.Event == wire.EventRx && p.Type == "HELLO" && p.Src != p.Node {
+		k := linkKey{tx: p.Src, rx: p.Node}
+		l, ok := c.links[k]
+		if !ok {
+			l = &LinkObs{Tx: p.Src, Rx: p.Node, FirstTS: p.TS}
+			c.links[k] = l
+		}
+		l.Count++
+		l.LastTS = p.TS
+		l.LastRSSI = p.RSSIdBm
+		l.LastSNR = p.SNRdB
+		// Incremental means.
+		l.MeanRSSI += (p.RSSIdBm - l.MeanRSSI) / float64(l.Count)
+		l.MeanSNR += (p.SNRdB - l.MeanSNR) / float64(l.Count)
+	}
+}
+
+// Links returns every observed direct link, sorted by (tx, rx). With
+// from > 0, only links heard at or after that timestamp are included.
+func (c *Collector) Links(from float64) []LinkObs {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]LinkObs, 0, len(c.links))
+	for _, l := range c.links {
+		if l.LastTS >= from {
+			out = append(out, *l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tx != out[j].Tx {
+			return out[i].Tx < out[j].Tx
+		}
+		return out[i].Rx < out[j].Rx
+	})
+	return out
+}
+
+func (c *Collector) ingestRoutes(st *nodeState, r wire.RouteSnapshot) {
+	c.bump(r.TS)
+	if st.info.LastRoutes == nil || r.TS >= st.info.LastRoutes.TS {
+		st.info.LastRoutes = &r
+	}
+	node := r.Node.String()
+	for _, e := range r.Routes {
+		c.db.Append("mesh_route_metric",
+			tsdb.Labels{"node": node, "dst": e.Dst.String()}, r.TS, float64(e.Metric))
+	}
+}
+
+func (c *Collector) ingestStats(st *nodeState, s wire.NodeStats) {
+	c.bump(s.TS)
+	if st.info.LastStats == nil || s.TS >= st.info.LastStats.TS {
+		st.info.LastStats = &s
+	}
+	node := tsdb.Labels{"node": s.Node.String()}
+	for name, v := range map[string]float64{
+		"node_hello_sent":       float64(s.HelloSent),
+		"node_data_sent":        float64(s.DataSent),
+		"node_ack_sent":         float64(s.AckSent),
+		"node_forwarded":        float64(s.Forwarded),
+		"node_hello_recv":       float64(s.HelloRecv),
+		"node_data_recv":        float64(s.DataRecv),
+		"node_ack_recv":         float64(s.AckRecv),
+		"node_overheard":        float64(s.Overheard),
+		"node_delivered":        float64(s.Delivered),
+		"node_dup_suppressed":   float64(s.DupSuppressed),
+		"node_drop_no_route":    float64(s.DropNoRoute),
+		"node_drop_ttl":         float64(s.DropTTL),
+		"node_drop_queue_full":  float64(s.DropQueueFull),
+		"node_drop_ack_timeout": float64(s.DropAckTimeout),
+		"node_retries":          float64(s.RetriesSpent),
+		"node_send_failures":    float64(s.SendFailures),
+		"node_route_count":      float64(s.RouteCount),
+		"node_queue_len":        float64(s.QueueLen),
+		"node_airtime_ms":       s.AirtimeMS,
+		"node_duty_cycle":       s.DutyCycleUsed,
+		"node_duty_blocked":     float64(s.DutyBlocked),
+	} {
+		c.db.Append(name, node, s.TS, v)
+	}
+}
+
+func (c *Collector) ingestHeartbeat(st *nodeState, h wire.Heartbeat) {
+	c.bump(h.TS)
+	if h.TS >= st.info.LastBeatTS {
+		st.info.LastBeatTS = h.TS
+		st.info.UptimeS = h.UptimeS
+		if h.Firmware != "" {
+			st.info.Firmware = h.Firmware
+		}
+	}
+	c.db.Append("node_uptime", tsdb.Labels{"node": h.Node.String()}, h.TS, h.UptimeS)
+}
+
+// ParseNodeID parses the canonical "N0001" form (or bare hex/decimal).
+func ParseNodeID(s string) (wire.NodeID, error) {
+	if len(s) == 5 && (s[0] == 'N' || s[0] == 'n') {
+		v, err := strconv.ParseUint(s[1:], 16, 16)
+		if err != nil {
+			return 0, fmt.Errorf("collector: bad node id %q: %w", s, err)
+		}
+		return wire.NodeID(v), nil
+	}
+	v, err := strconv.ParseUint(s, 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("collector: bad node id %q: %w", s, err)
+	}
+	return wire.NodeID(v), nil
+}

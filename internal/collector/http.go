@@ -1,0 +1,208 @@
+package collector
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+
+	"lorameshmon/internal/tsdb"
+	"lorameshmon/internal/wire"
+)
+
+// maxBodyBytes bounds ingest request bodies (a full batch of 256 packet
+// records is well under 100 KiB).
+const maxBodyBytes = 1 << 20
+
+// APIHandler returns the collector's JSON API:
+//
+//	POST /api/v1/ingest          — upload one wire.Batch (JSON or binary)
+//	GET  /api/v1/nodes           — node registry
+//	GET  /api/v1/nodes/{id}      — one node (id like N0001)
+//	GET  /api/v1/recent?limit=N  — newest packet records
+//	GET  /api/v1/stats           — collector counters
+//	GET  /api/v1/query?metric=&from=&to=&label.k=v[&step=&agg=] — series (optionally downsampled)
+//	GET  /api/v1/metrics         — Prometheus text exposition
+//	GET  /api/v1/export?from=&to= — recent packet records as JSONL
+func (c *Collector) APIHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/ingest", c.handleIngest)
+	mux.HandleFunc("GET /api/v1/nodes", c.handleNodes)
+	mux.HandleFunc("GET /api/v1/nodes/{id}", c.handleNode)
+	mux.HandleFunc("GET /api/v1/recent", c.handleRecent)
+	mux.HandleFunc("GET /api/v1/stats", c.handleStats)
+	mux.HandleFunc("GET /api/v1/query", c.handleQuery)
+	mux.HandleFunc("GET /api/v1/metrics", c.prometheusHandler)
+	mux.HandleFunc("GET /api/v1/export", c.handleExport)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (c *Collector) handleIngest(w http.ResponseWriter, r *http.Request) {
+	defer r.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body) > maxBodyBytes {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("collector: batch exceeds %d bytes", maxBodyBytes))
+		return
+	}
+	var batch wire.Batch
+	if wire.IsBinaryBatch(body) {
+		batch, err = wire.DecodeBatchBinary(body)
+	} else {
+		batch, err = wire.DecodeBatch(body)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := c.Ingest(batch); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"accepted": batch.Len()})
+}
+
+func (c *Collector) handleNodes(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, c.Nodes())
+}
+
+func (c *Collector) handleNode(w http.ResponseWriter, r *http.Request) {
+	id, err := ParseNodeID(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	info, ok := c.Node(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("collector: unknown node %v", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (c *Collector) handleRecent(w http.ResponseWriter, r *http.Request) {
+	limit := 100
+	if s := r.URL.Query().Get("limit"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("collector: bad limit %q", s))
+			return
+		}
+		limit = v
+	}
+	writeJSON(w, http.StatusOK, c.Recent(limit))
+}
+
+func (c *Collector) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, c.Stats())
+}
+
+// handleExport streams the retained packet records as JSON lines,
+// optionally bounded by from/to record time — the raw-data escape hatch
+// for offline analysis.
+func (c *Collector) handleExport(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	parseF := func(key string, def float64) (float64, error) {
+		s := q.Get(key)
+		if s == "" {
+			return def, nil
+		}
+		return strconv.ParseFloat(s, 64)
+	}
+	from, err := parseF("from", 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("collector: bad from: %w", err))
+		return
+	}
+	to, err := parseF("to", math.MaxFloat64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("collector: bad to: %w", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	enc := json.NewEncoder(w)
+	records := c.Recent(0)
+	// Recent returns newest-first; export oldest-first for replayability.
+	for i := len(records) - 1; i >= 0; i-- {
+		p := records[i]
+		if p.TS < from || p.TS > to {
+			continue
+		}
+		if err := enc.Encode(p); err != nil {
+			return // client went away
+		}
+	}
+}
+
+func (c *Collector) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	metric := q.Get("metric")
+	if metric == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("collector: metric parameter required"))
+		return
+	}
+	parseF := func(key string, def float64) (float64, error) {
+		s := q.Get(key)
+		if s == "" {
+			return def, nil
+		}
+		return strconv.ParseFloat(s, 64)
+	}
+	from, err := parseF("from", 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("collector: bad from: %w", err))
+		return
+	}
+	to, err := parseF("to", c.MaxTS())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("collector: bad to: %w", err))
+		return
+	}
+	matcher := tsdb.Labels{}
+	for key, vals := range q {
+		if len(key) > 6 && key[:6] == "label." && len(vals) > 0 {
+			matcher[key[6:]] = vals[0]
+		}
+	}
+	results := c.db.Query(metric, matcher, from, to)
+	// Optional server-side downsampling: step (seconds) + agg.
+	if stepStr := q.Get("step"); stepStr != "" {
+		step, err := strconv.ParseFloat(stepStr, 64)
+		if err != nil || step <= 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("collector: bad step %q", stepStr))
+			return
+		}
+		agg := tsdb.Agg(q.Get("agg"))
+		if agg == "" {
+			agg = tsdb.AggAvg
+		}
+		switch agg {
+		case tsdb.AggSum, tsdb.AggAvg, tsdb.AggMin, tsdb.AggMax, tsdb.AggCount, tsdb.AggLast:
+		default:
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("collector: unknown agg %q", agg))
+			return
+		}
+		for i := range results {
+			results[i].Points = tsdb.Downsample(results[i].Points, from, step, agg)
+		}
+	}
+	writeJSON(w, http.StatusOK, results)
+}

@@ -1,0 +1,260 @@
+package collector
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lorameshmon/internal/tsdb"
+	"lorameshmon/internal/wire"
+)
+
+func newServer(t *testing.T) (*Collector, *httptest.Server) {
+	t.Helper()
+	c := newCollector()
+	srv := httptest.NewServer(c.APIHandler())
+	t.Cleanup(srv.Close)
+	return c, srv
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func postBatch(t *testing.T, url string, b wire.Batch) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/api/v1/ingest", "application/json", strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestHTTPIngestAndNodes(t *testing.T) {
+	c, srv := newServer(t)
+	resp := postBatch(t, srv.URL, wire.Batch{
+		Node: 1, SeqNo: 1, SentAt: 5,
+		Heartbeats: []wire.Heartbeat{{TS: 5, Node: 1, UptimeS: 5}},
+		Packets:    []wire.PacketRecord{pktRecord(1, 4, wire.EventTx)},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %v", resp.Status)
+	}
+	if c.Stats().BatchesIngested != 1 {
+		t.Fatal("batch not ingested")
+	}
+
+	r, err := http.Get(srv.URL + "/api/v1/nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var nodes []NodeInfo
+	if err := json.NewDecoder(r.Body).Decode(&nodes); err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0].ID != 1 {
+		t.Fatalf("nodes = %+v", nodes)
+	}
+
+	r2, err := http.Get(srv.URL + "/api/v1/nodes/N0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("node status = %v", r2.Status)
+	}
+
+	r3 := mustGet(t, srv.URL+"/api/v1/nodes/N0099")
+	if r3.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing node status = %v", r3.Status)
+	}
+}
+
+func TestHTTPIngestRejectsBadBody(t *testing.T) {
+	_, srv := newServer(t)
+	resp, err := http.Post(srv.URL+"/api/v1/ingest", "application/json", strings.NewReader("{bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %v, want 400", resp.Status)
+	}
+}
+
+func TestHTTPIngestRejectsOversizedBody(t *testing.T) {
+	_, srv := newServer(t)
+	big := strings.Repeat("x", maxBodyBytes+10)
+	resp, err := http.Post(srv.URL+"/api/v1/ingest", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %v, want 413", resp.Status)
+	}
+}
+
+func TestHTTPRecentAndStats(t *testing.T) {
+	_, srv := newServer(t)
+	postBatch(t, srv.URL, wire.Batch{
+		Node: 1, SeqNo: 1, SentAt: 5,
+		Packets: []wire.PacketRecord{
+			pktRecord(1, 1, wire.EventTx),
+			pktRecord(1, 2, wire.EventRx),
+		},
+	})
+	r, err := http.Get(srv.URL + "/api/v1/recent?limit=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var recent []wire.PacketRecord
+	if err := json.NewDecoder(r.Body).Decode(&recent); err != nil {
+		t.Fatal(err)
+	}
+	if len(recent) != 1 || recent[0].TS != 2 {
+		t.Fatalf("recent = %+v", recent)
+	}
+
+	bad := mustGet(t, srv.URL+"/api/v1/recent?limit=potato")
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad limit status = %v", bad.Status)
+	}
+
+	rs := mustGet(t, srv.URL+"/api/v1/stats")
+	var st Stats
+	if err := json.NewDecoder(rs.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.BatchesIngested != 1 || st.NodesKnown != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHTTPQuery(t *testing.T) {
+	_, srv := newServer(t)
+	postBatch(t, srv.URL, wire.Batch{
+		Node: 1, SeqNo: 1, SentAt: 5,
+		Packets: []wire.PacketRecord{pktRecord(1, 3, wire.EventTx)},
+	})
+	r, err := http.Get(srv.URL + "/api/v1/query?metric=mesh_airtime_ms&label.node=N0001&from=0&to=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var res []tsdb.Result
+	if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || len(res[0].Points) != 1 {
+		t.Fatalf("query result = %+v", res)
+	}
+
+	missing := mustGet(t, srv.URL+"/api/v1/query")
+	if missing.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing metric status = %v", missing.Status)
+	}
+	badFrom := mustGet(t, srv.URL+"/api/v1/query?metric=m&from=zzz")
+	if badFrom.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad from status = %v", badFrom.Status)
+	}
+}
+
+func TestHTTPIngestBinaryBatch(t *testing.T) {
+	c, srv := newServer(t)
+	b := wire.Batch{
+		Node: 1, SeqNo: 1, SentAt: 5,
+		Heartbeats: []wire.Heartbeat{{TS: 5, Node: 1, UptimeS: 5}},
+	}
+	data, err := wire.EncodeBatchBinary(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/api/v1/ingest", "application/octet-stream",
+		strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary ingest status = %v", resp.Status)
+	}
+	if c.Stats().BatchesIngested != 1 {
+		t.Fatal("binary batch not ingested")
+	}
+	n, _ := c.Node(1)
+	if n.LastBeatTS != 5 {
+		t.Fatalf("node info = %+v", n)
+	}
+}
+
+func TestHTTPQueryDownsampled(t *testing.T) {
+	c, srv := newServer(t)
+	for i := 0; i < 10; i++ {
+		c.DB().Append("m", tsdb.Labels{"node": "N0001"}, float64(i), 1)
+	}
+	r := mustGet(t, srv.URL+"/api/v1/query?metric=m&from=0&to=100&step=4&agg=sum")
+	var res []tsdb.Result
+	if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || len(res[0].Points) != 3 {
+		t.Fatalf("downsampled result = %+v", res)
+	}
+	if res[0].Points[0].Value != 4 || res[0].Points[2].Value != 2 {
+		t.Fatalf("bucket sums = %+v", res[0].Points)
+	}
+	if bad := mustGet(t, srv.URL+"/api/v1/query?metric=m&step=zero"); bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad step status = %d", bad.StatusCode)
+	}
+	if bad := mustGet(t, srv.URL+"/api/v1/query?metric=m&step=5&agg=median"); bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad agg status = %d", bad.StatusCode)
+	}
+}
+
+func TestHTTPExportJSONL(t *testing.T) {
+	_, srv := newServer(t)
+	postBatch(t, srv.URL, wire.Batch{
+		Node: 1, SeqNo: 1, SentAt: 10,
+		Packets: []wire.PacketRecord{
+			pktRecord(1, 1, wire.EventTx),
+			pktRecord(1, 5, wire.EventRx),
+			pktRecord(1, 9, wire.EventDrop),
+		},
+	})
+	r := mustGet(t, srv.URL+"/api/v1/export?from=2&to=8")
+	if ct := r.Header.Get("Content-Type"); ct != "application/jsonl" {
+		t.Fatalf("content type = %q", ct)
+	}
+	dec := json.NewDecoder(r.Body)
+	var got []wire.PacketRecord
+	for dec.More() {
+		var p wire.PacketRecord
+		if err := dec.Decode(&p); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, p)
+	}
+	if len(got) != 1 || got[0].TS != 5 {
+		t.Fatalf("export = %+v, want only the TS=5 record", got)
+	}
+	if bad := mustGet(t, srv.URL+"/api/v1/export?from=x"); bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad from status = %d", bad.StatusCode)
+	}
+}

@@ -1,0 +1,120 @@
+package collector
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (format 0.0.4) of the collector's state, so
+// an existing metrics stack can scrape the monitoring server alongside
+// the built-in dashboard. Counter totals come from the node registry's
+// newest summaries; gauges reflect the latest reported values.
+
+// prometheusHandler serves GET /metrics.
+func (c *Collector) prometheusHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, c.PrometheusExposition()) //nolint:errcheck // client gone
+}
+
+// PrometheusExposition renders the current state in Prometheus text
+// format.
+func (c *Collector) PrometheusExposition() string {
+	var sb strings.Builder
+	stats := c.Stats()
+	writeMetric(&sb, "meshmon_batches_ingested_total", "counter",
+		"Telemetry batches accepted by the collector.",
+		sample{value: float64(stats.BatchesIngested)})
+	writeMetric(&sb, "meshmon_batches_rejected_total", "counter",
+		"Telemetry batches rejected as invalid.",
+		sample{value: float64(stats.BatchesRejected)})
+	writeMetric(&sb, "meshmon_records_ingested_total", "counter",
+		"Telemetry records materialised into the store.",
+		sample{value: float64(stats.RecordsIngested)})
+	writeMetric(&sb, "meshmon_nodes_known", "gauge",
+		"Mesh nodes present in the registry.",
+		sample{value: float64(stats.NodesKnown)})
+
+	nodes := c.Nodes()
+	perNode := func(name, help, typ string, get func(NodeInfo) (float64, bool)) {
+		var samples []sample
+		for _, n := range nodes {
+			if v, ok := get(n); ok {
+				samples = append(samples, sample{
+					labels: map[string]string{"node": n.ID.String()},
+					value:  v,
+				})
+			}
+		}
+		if len(samples) > 0 {
+			writeMetric(&sb, name, typ, help, samples...)
+		}
+	}
+	perNode("meshmon_node_last_heartbeat_seconds", "Record time of the node's newest heartbeat.", "gauge",
+		func(n NodeInfo) (float64, bool) { return n.LastBeatTS, true })
+	perNode("meshmon_node_uptime_seconds", "Node uptime from its newest heartbeat.", "gauge",
+		func(n NodeInfo) (float64, bool) { return n.UptimeS, true })
+	perNode("meshmon_node_batches_lost_total", "Upload batches lost per node (sequence gaps).", "counter",
+		func(n NodeInfo) (float64, bool) { return float64(n.BatchesLost), true })
+	statGauge := func(name, help string, get func(NodeInfo) float64) {
+		perNode(name, help, "gauge", func(n NodeInfo) (float64, bool) {
+			if n.LastStats == nil {
+				return 0, false
+			}
+			return get(n), true
+		})
+	}
+	statGauge("meshmon_node_routes", "Destinations in the node's routing table.",
+		func(n NodeInfo) float64 { return float64(n.LastStats.RouteCount) })
+	statGauge("meshmon_node_queue_depth", "Packets waiting in the node's transmit queue.",
+		func(n NodeInfo) float64 { return float64(n.LastStats.QueueLen) })
+	statGauge("meshmon_node_duty_cycle", "Fraction of time spent transmitting.",
+		func(n NodeInfo) float64 { return n.LastStats.DutyCycleUsed })
+	statGauge("meshmon_node_data_sent_total", "Application data packets originated.",
+		func(n NodeInfo) float64 { return float64(n.LastStats.DataSent) })
+	statGauge("meshmon_node_forwarded_total", "Packets relayed for other nodes.",
+		func(n NodeInfo) float64 { return float64(n.LastStats.Forwarded) })
+	statGauge("meshmon_node_delivered_total", "Payloads delivered to the node's application.",
+		func(n NodeInfo) float64 { return float64(n.LastStats.Delivered) })
+
+	links := c.Links(0)
+	if len(links) > 0 {
+		var rssi, cnt []sample
+		for _, l := range links {
+			lbl := map[string]string{"tx": l.Tx.String(), "rx": l.Rx.String()}
+			rssi = append(rssi, sample{labels: lbl, value: l.MeanRSSI})
+			cnt = append(cnt, sample{labels: lbl, value: float64(l.Count)})
+		}
+		writeMetric(&sb, "meshmon_link_rssi_dbm", "gauge",
+			"Mean RSSI of the observed direct link.", rssi...)
+		writeMetric(&sb, "meshmon_link_observations_total", "counter",
+			"HELLO receptions observed on the direct link.", cnt...)
+	}
+	return sb.String()
+}
+
+type sample struct {
+	labels map[string]string
+	value  float64
+}
+
+func writeMetric(sb *strings.Builder, name, typ, help string, samples ...sample) {
+	fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	for _, s := range samples {
+		if len(s.labels) == 0 {
+			fmt.Fprintf(sb, "%s %g\n", name, s.value)
+			continue
+		}
+		keys := make([]string, 0, len(s.labels))
+		for k := range s.labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var parts []string
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf(`%s=%q`, k, s.labels[k]))
+		}
+		fmt.Fprintf(sb, "%s{%s} %g\n", name, strings.Join(parts, ","), s.value)
+	}
+}

@@ -1,0 +1,89 @@
+package collector
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lorameshmon/internal/wire"
+)
+
+func seededForProm(t *testing.T) *Collector {
+	t.Helper()
+	c := newCollector()
+	err := c.Ingest(wire.Batch{
+		Node: 1, SeqNo: 1, SentAt: 100,
+		Heartbeats: []wire.Heartbeat{{TS: 100, Node: 1, UptimeS: 100}},
+		Stats: []wire.NodeStats{{
+			TS: 95, Node: 1, UptimeS: 95, DataSent: 12, Forwarded: 3,
+			Delivered: 7, RouteCount: 2, QueueLen: 1, DutyCycleUsed: 0.003,
+		}},
+		Packets: []wire.PacketRecord{{
+			TS: 90, Node: 1, Event: wire.EventRx, Type: "HELLO", Src: 2,
+			Dst: 0xFFFF, Via: 0xFFFF, Seq: 1, TTL: 1, Size: 15,
+			RSSIdBm: -90, SNRdB: 9, ForUs: true,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	c := seededForProm(t)
+	out := c.PrometheusExposition()
+	for _, want := range []string{
+		"# HELP meshmon_batches_ingested_total",
+		"# TYPE meshmon_batches_ingested_total counter",
+		"meshmon_batches_ingested_total 1",
+		"meshmon_nodes_known 1",
+		`meshmon_node_routes{node="N0001"} 2`,
+		`meshmon_node_duty_cycle{node="N0001"} 0.003`,
+		`meshmon_node_data_sent_total{node="N0001"} 12`,
+		`meshmon_link_rssi_dbm{rx="N0001",tx="N0002"} -90`,
+		`meshmon_link_observations_total{rx="N0001",tx="N0002"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestPrometheusEndpoint(t *testing.T) {
+	c := seededForProm(t)
+	srv := httptest.NewServer(c.APIHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/api/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %v", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+}
+
+func TestPrometheusEmptyCollector(t *testing.T) {
+	c := newCollector()
+	out := c.PrometheusExposition()
+	if !strings.Contains(out, "meshmon_nodes_known 0") {
+		t.Fatalf("empty exposition:\n%s", out)
+	}
+	if strings.Contains(out, "meshmon_link_rssi_dbm{") {
+		t.Fatal("link metrics emitted without links")
+	}
+}

@@ -1,0 +1,365 @@
+// Package dashboard serves the monitoring server's web UI — the
+// dashboard through which the paper's server "visualizes the
+// information": a network overview, per-node detail pages with charts,
+// a live traffic view, an inferred-topology graph and the active alerts.
+// Everything is rendered server-side with html/template and hand-rolled
+// SVG, so the whole system stays stdlib-only.
+package dashboard
+
+import (
+	"fmt"
+	"html/template"
+	"math"
+	"net/http"
+	"sort"
+
+	"lorameshmon/internal/alert"
+	"lorameshmon/internal/analysis"
+	"lorameshmon/internal/collector"
+	"lorameshmon/internal/phy"
+	"lorameshmon/internal/tsdb"
+	"lorameshmon/internal/wire"
+)
+
+// Config tunes the dashboard.
+type Config struct {
+	// Title heads every page.
+	Title string
+	// DownAfterS marks a node down when its last heartbeat is older than
+	// this many seconds (display only; alerting has its own threshold).
+	DownAfterS float64
+	// SF is the network's spreading factor, used for link margins.
+	SF phy.SpreadingFactor
+}
+
+// DefaultConfig titles the dashboard and marks nodes down after 90 s.
+func DefaultConfig() Config {
+	return Config{Title: "LoRa Mesh Monitor", DownAfterS: 90, SF: phy.SF7}
+}
+
+// Server renders the dashboard for one collector (and optional alert
+// engine).
+type Server struct {
+	coll   *collector.Collector
+	engine *alert.Engine // may be nil
+	cfg    Config
+	tmpl   *template.Template
+}
+
+// New builds a dashboard server. engine may be nil to omit alerts.
+func New(coll *collector.Collector, engine *alert.Engine, cfg Config) *Server {
+	d := DefaultConfig()
+	if cfg.Title == "" {
+		cfg.Title = d.Title
+	}
+	if cfg.DownAfterS <= 0 {
+		cfg.DownAfterS = d.DownAfterS
+	}
+	if !cfg.SF.Valid() {
+		cfg.SF = d.SF
+	}
+	return &Server{
+		coll:   coll,
+		engine: engine,
+		cfg:    cfg,
+		tmpl:   template.Must(template.New("dash").Parse(pageTemplates)),
+	}
+}
+
+// Handler returns the dashboard routes:
+//
+//	GET /                     overview
+//	GET /node/{id}            node detail
+//	GET /traffic              recent packet records
+//	GET /topology             inferred topology graph (SVG inline)
+//	GET /alerts               active alerts and resolution history
+//	GET /chart/{metric}.svg   metric chart (query: node, from, to)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleOverview)
+	mux.HandleFunc("GET /node/{id}", s.handleNode)
+	mux.HandleFunc("GET /traffic", s.handleTraffic)
+	mux.HandleFunc("GET /topology", s.handleTopology)
+	mux.HandleFunc("GET /alerts", s.handleAlerts)
+	mux.HandleFunc("GET /chart/{metric}", s.handleChart)
+	return mux
+}
+
+type nodeRow struct {
+	ID         string
+	Up         bool
+	LastBeat   string
+	Uptime     string
+	Firmware   string
+	Routes     int
+	QueueLen   int
+	DutyCycle  string
+	BatchesOK  uint64
+	BatchesBad uint64
+}
+
+type overviewData struct {
+	Title   string
+	Now     string
+	Nodes   []nodeRow
+	Alerts  []alert.Alert
+	Stats   collector.Stats
+	PDR     string
+	HavePDR bool
+}
+
+func (s *Server) handleOverview(w http.ResponseWriter, _ *http.Request) {
+	now := s.coll.MaxTS()
+	var rows []nodeRow
+	for _, n := range s.coll.Nodes() {
+		row := nodeRow{
+			ID:         n.ID.String(),
+			Up:         now-n.LastBeatTS <= s.cfg.DownAfterS,
+			LastBeat:   fmt.Sprintf("%.0fs", n.LastBeatTS),
+			Uptime:     fmt.Sprintf("%.0fs", n.UptimeS),
+			Firmware:   n.Firmware,
+			BatchesOK:  n.BatchesOK,
+			BatchesBad: n.BatchesLost,
+		}
+		if n.LastStats != nil {
+			row.Routes = n.LastStats.RouteCount
+			row.QueueLen = n.LastStats.QueueLen
+			row.DutyCycle = fmt.Sprintf("%.3f%%", 100*n.LastStats.DutyCycleUsed)
+		}
+		rows = append(rows, row)
+	}
+	data := overviewData{
+		Title: s.cfg.Title,
+		Now:   fmt.Sprintf("%.0fs", now),
+		Nodes: rows,
+		Stats: s.coll.Stats(),
+	}
+	if s.engine != nil {
+		data.Alerts = s.engine.Active()
+	}
+	if pdr, ok := analysis.NetworkPDRFromStats(s.coll); ok {
+		data.PDR = fmt.Sprintf("%.1f%%", 100*pdr)
+		data.HavePDR = true
+	}
+	s.render(w, "overview", data)
+}
+
+type nodeDetail struct {
+	Title  string
+	ID     string
+	Info   collector.NodeInfo
+	Stats  *wire.NodeStats
+	Routes []wire.RouteEntry
+	Charts []template.URL
+}
+
+func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
+	id, err := collector.ParseNodeID(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	info, ok := s.coll.Node(id)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	data := nodeDetail{Title: s.cfg.Title, ID: id.String(), Info: info, Stats: info.LastStats}
+	if info.LastRoutes != nil {
+		data.Routes = info.LastRoutes.Routes
+	}
+	for _, metric := range []string{
+		"mesh_packet_rssi", "node_route_count", "node_queue_len", "node_duty_cycle",
+	} {
+		data.Charts = append(data.Charts,
+			template.URL(fmt.Sprintf("/chart/%s.svg?node=%s", metric, id)))
+	}
+	s.render(w, "node", data)
+}
+
+type trafficData struct {
+	Title   string
+	Packets []wire.PacketRecord
+}
+
+func (s *Server) handleTraffic(w http.ResponseWriter, _ *http.Request) {
+	s.render(w, "traffic", trafficData{Title: s.cfg.Title, Packets: s.coll.Recent(100)})
+}
+
+type alertsData struct {
+	Title   string
+	Active  []alert.Alert
+	History []alert.Alert
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, _ *http.Request) {
+	data := alertsData{Title: s.cfg.Title}
+	if s.engine != nil {
+		data.Active = s.engine.Active()
+		data.History = s.engine.History()
+	}
+	s.render(w, "alerts", data)
+}
+
+func (s *Server) handleTopology(w http.ResponseWriter, _ *http.Request) {
+	topo := analysis.InferTopology(s.coll, 0, 1)
+	nodes := topo.Nodes()
+	// Include registered-but-unlinked nodes so failures stay visible.
+	seen := make(map[wire.NodeID]bool, len(nodes))
+	for _, id := range nodes {
+		seen[id] = true
+	}
+	for _, info := range s.coll.Nodes() {
+		if !seen[info.ID] {
+			nodes = append(nodes, info.ID)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	now := s.coll.MaxTS()
+	idx := make(map[wire.NodeID]int, len(nodes))
+	g := svgTopology{Title: "Inferred topology (from HELLO receptions)", Size: 520}
+	for i, id := range nodes {
+		idx[id] = i
+		down := false
+		if info, ok := s.coll.Node(id); ok {
+			down = now-info.LastBeatTS > s.cfg.DownAfterS
+		}
+		g.Nodes = append(g.Nodes, topoNode{Label: id.String(), Down: down})
+	}
+	for _, l := range analysis.LinkMatrix(s.coll, s.cfg.SF, 0) {
+		g.Edges = append(g.Edges, topoEdge{
+			From:  idx[l.Tx],
+			To:    idx[l.Rx],
+			Label: fmt.Sprintf("%.0fdBm", l.MeanRSSI),
+		})
+	}
+	s.render(w, "topology", struct {
+		Title string
+		SVG   template.HTML
+	}{s.cfg.Title, template.HTML(g.Render())})
+}
+
+// handleChart serves `/chart/{metric}.svg?node=N0001&from=&to=`.
+func (s *Server) handleChart(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("metric")
+	if len(name) < 5 || name[len(name)-4:] != ".svg" {
+		http.Error(w, "dashboard: chart path must end in .svg", http.StatusBadRequest)
+		return
+	}
+	metric := name[:len(name)-4]
+	q := r.URL.Query()
+	matcher := tsdb.Labels{}
+	if nodeParam := q.Get("node"); nodeParam != "" {
+		id, err := collector.ParseNodeID(nodeParam)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		matcher["node"] = id.String()
+	}
+	from, to := 0.0, math.MaxFloat64
+	if v := q.Get("from"); v != "" {
+		fmt.Sscanf(v, "%g", &from) //nolint:errcheck // zero on failure is fine
+	}
+	if v := q.Get("to"); v != "" {
+		fmt.Sscanf(v, "%g", &to) //nolint:errcheck
+	}
+	chart := svgLineChart{Title: metric, Width: 640, Height: 240}
+	for _, res := range s.coll.DB().Query(metric, matcher, from, to) {
+		label := res.Labels.String()
+		chart.Series = append(chart.Series, chartSeries{Label: label, Points: res.Points})
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	fmt.Fprint(w, chart.Render()) //nolint:errcheck
+}
+
+func (s *Server) render(w http.ResponseWriter, page string, data any) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := s.tmpl.ExecuteTemplate(w, page, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// pageTemplates holds all dashboard pages. A shared skeleton keeps the
+// look consistent.
+const pageTemplates = `
+{{define "head"}}<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{{.Title}}</title>
+<style>
+body{font-family:system-ui,sans-serif;margin:24px;color:#111}
+table{border-collapse:collapse;margin:12px 0}
+th,td{border:1px solid #d1d5db;padding:4px 10px;font-size:13px;text-align:left}
+th{background:#f3f4f6}
+.up{color:#16a34a;font-weight:600}.down{color:#dc2626;font-weight:600}
+nav a{margin-right:16px}
+.alert{background:#fef2f2;border:1px solid #fecaca;padding:6px 10px;margin:4px 0;font-size:13px}
+h1{font-size:20px}h2{font-size:16px}
+.meta{color:#6b7280;font-size:12px}
+</style></head><body>
+<h1>{{.Title}}</h1>
+<nav><a href="/">Overview</a><a href="/traffic">Traffic</a><a href="/topology">Topology</a><a href="/alerts">Alerts</a></nav>
+{{end}}
+{{define "foot"}}</body></html>{{end}}
+
+{{define "overview"}}{{template "head" .}}
+<p class="meta">record time {{.Now}} · {{.Stats.BatchesIngested}} batches · {{.Stats.RecordsIngested}} records ingested{{if .HavePDR}} · network PDR {{.PDR}}{{end}}</p>
+{{range .Alerts}}<div class="alert"><b>{{.Kind}}</b> [{{.Severity}}] {{.Message}}</div>{{end}}
+<h2>Nodes</h2>
+<table><tr><th>Node</th><th>Status</th><th>Last beat</th><th>Uptime</th><th>Routes</th><th>Queue</th><th>Duty</th><th>Batches</th><th>Lost</th><th>Firmware</th></tr>
+{{range .Nodes}}<tr>
+<td><a href="/node/{{.ID}}">{{.ID}}</a></td>
+<td>{{if .Up}}<span class="up">up</span>{{else}}<span class="down">down</span>{{end}}</td>
+<td>{{.LastBeat}}</td><td>{{.Uptime}}</td><td>{{.Routes}}</td><td>{{.QueueLen}}</td>
+<td>{{.DutyCycle}}</td><td>{{.BatchesOK}}</td><td>{{.BatchesBad}}</td><td>{{.Firmware}}</td>
+</tr>{{end}}
+</table>
+{{template "foot" .}}{{end}}
+
+{{define "node"}}{{template "head" .}}
+<h2>Node {{.ID}}</h2>
+<p class="meta">first seen {{printf "%.0fs" .Info.FirstSeenTS}} · last batch {{printf "%.0fs" .Info.LastSeenTS}} · {{.Info.Records}} records</p>
+{{if .Stats}}
+<table><tr><th>hello tx/rx</th><th>data tx/rx</th><th>fwd</th><th>delivered</th><th>overheard</th><th>drops (route/ttl/queue/ack)</th><th>retries</th></tr>
+<tr><td>{{.Stats.HelloSent}}/{{.Stats.HelloRecv}}</td><td>{{.Stats.DataSent}}/{{.Stats.DataRecv}}</td>
+<td>{{.Stats.Forwarded}}</td><td>{{.Stats.Delivered}}</td><td>{{.Stats.Overheard}}</td>
+<td>{{.Stats.DropNoRoute}}/{{.Stats.DropTTL}}/{{.Stats.DropQueueFull}}/{{.Stats.DropAckTimeout}}</td>
+<td>{{.Stats.RetriesSpent}}</td></tr></table>
+{{end}}
+<h2>Routing table</h2>
+<table><tr><th>Destination</th><th>Next hop</th><th>Metric</th><th>Age</th><th>SNR</th></tr>
+{{range .Routes}}<tr><td>{{.Dst}}</td><td>{{.NextHop}}</td><td>{{.Metric}}</td><td>{{printf "%.0fs" .AgeS}}</td><td>{{printf "%.1f" .SNRdB}} dB</td></tr>{{end}}
+</table>
+<h2>Charts</h2>
+{{range .Charts}}<div><img src="{{.}}" alt="chart"></div>{{end}}
+{{template "foot" .}}{{end}}
+
+{{define "traffic"}}{{template "head" .}}
+<h2>Recent LoRa packets</h2>
+<table><tr><th>t</th><th>Node</th><th>Event</th><th>Type</th><th>Src</th><th>Dst</th><th>Via</th><th>Seq</th><th>TTL</th><th>Bytes</th><th>RSSI</th><th>SNR</th><th>Reason</th></tr>
+{{range .Packets}}<tr>
+<td>{{printf "%.1f" .TS}}</td><td>{{.Node}}</td><td>{{.Event}}</td><td>{{.Type}}</td>
+<td>{{.Src}}</td><td>{{.Dst}}</td><td>{{.Via}}</td><td>{{.Seq}}</td><td>{{.TTL}}</td><td>{{.Size}}</td>
+<td>{{if .RSSIdBm}}{{printf "%.0f" .RSSIdBm}}{{end}}</td>
+<td>{{if .SNRdB}}{{printf "%.1f" .SNRdB}}{{end}}</td>
+<td>{{.Reason}}</td>
+</tr>{{end}}
+</table>
+{{template "foot" .}}{{end}}
+
+{{define "alerts"}}{{template "head" .}}
+<h2>Active alerts</h2>
+{{if .Active}}<table><tr><th>Since</th><th>Severity</th><th>Kind</th><th>Node</th><th>Message</th></tr>
+{{range .Active}}<tr><td>{{printf "%.0fs" .FiredAt}}</td><td>{{.Severity}}</td><td>{{.Kind}}</td><td>{{.Node}}</td><td>{{.Message}}</td></tr>{{end}}
+</table>{{else}}<p class="meta">none</p>{{end}}
+<h2>Resolved</h2>
+{{if .History}}<table><tr><th>Fired</th><th>Resolved</th><th>Severity</th><th>Kind</th><th>Node</th><th>Message</th></tr>
+{{range .History}}<tr><td>{{printf "%.0fs" .FiredAt}}</td><td>{{printf "%.0fs" .ResolvedAt}}</td><td>{{.Severity}}</td><td>{{.Kind}}</td><td>{{.Node}}</td><td>{{.Message}}</td></tr>{{end}}
+</table>{{else}}<p class="meta">none</p>{{end}}
+{{template "foot" .}}{{end}}
+
+{{define "topology"}}{{template "head" .}}
+<h2>Topology</h2>
+{{.SVG}}
+{{template "foot" .}}{{end}}
+`

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"lorameshmon"
+	"lorameshmon/internal/tsdb"
+	"lorameshmon/internal/uplink"
+	"lorameshmon/internal/wire"
+)
+
+// baseSpec is the shared starting point of the evaluation's deployments:
+// the default campus channel with shadowing disabled, so topologies are
+// exactly reproducible across parameter sweeps, and the logistic
+// delivery waterfall kept (losses near the cell edge stay realistic).
+func baseSpec(seed int64, n int) lorameshmon.Spec {
+	spec := lorameshmon.DefaultSpec()
+	spec.Seed = seed
+	spec.N = n
+	spec.Radio.Channel.ShadowingSigmaDB = 0
+	return spec
+}
+
+// lineSpec spaces nodes so adjacent links are solid (~6 dB margin) and
+// two-hop links are far below the floor, giving controlled hop counts.
+const lineSpacingM = 2400
+
+func lineSpec(seed int64, n int) lorameshmon.Spec {
+	spec := baseSpec(seed, n)
+	spec.Layout = lorameshmon.Line
+	spec.SpacingM = lineSpacingM
+	return spec
+}
+
+// areaForDensity keeps node density constant as n grows (the 10-node
+// reference deployment uses a 3 km square).
+func areaForDensity(n int) float64 {
+	return 3000 * math.Sqrt(float64(n)/10)
+}
+
+// uplinkBytes sums the telemetry bytes shipped by every agent.
+func uplinkBytes(sys *lorameshmon.System) uint64 {
+	var total uint64
+	for _, n := range sys.Deployment.Nodes {
+		ag := n.Agent()
+		if ag == nil {
+			continue
+		}
+		if link, ok := ag.Uplink().(*uplink.Sim); ok {
+			total += link.Stats().BytesSent
+		}
+	}
+	return total
+}
+
+// shippedRecords sums records acknowledged by the server across agents.
+func shippedRecords(sys *lorameshmon.System) uint64 {
+	var total uint64
+	for _, n := range sys.Deployment.Nodes {
+		if ag := n.Agent(); ag != nil {
+			total += ag.Counters().RecordsShipped
+		}
+	}
+	return total
+}
+
+// T1RecordOverhead measures the wire size of every telemetry record kind
+// and how the batch envelope amortises.
+func T1RecordOverhead() Table {
+	t := Table{
+		ID:      "T1",
+		Title:   "Monitoring record schema and per-record wire overhead (JSON vs binary)",
+		Columns: []string{"record kind", "B/record JSON", "B/record JSON (batch 50)", "B/record binary (batch 50)"},
+	}
+	pkt := wire.PacketRecord{
+		TS: 3661.5, Node: 0x0012, Event: wire.EventRx, Type: "DATA",
+		Src: 0x0034, Dst: 0x0012, Via: 0x0012, Seq: 12345, TTL: 9, Size: 43,
+		RSSIdBm: -101.25, SNRdB: 4.75, ForUs: true, AirtimeMS: 71.936,
+	}
+	routes := wire.RouteSnapshot{TS: 3661.5, Node: 0x0012, Routes: []wire.RouteEntry{
+		{Dst: 1, NextHop: 2, Metric: 2, AgeS: 31.5, SNRdB: 6.25},
+		{Dst: 2, NextHop: 2, Metric: 1, AgeS: 12.0, SNRdB: 7.5},
+		{Dst: 3, NextHop: 2, Metric: 3, AgeS: 55.0, SNRdB: 5.0},
+	}}
+	stats := wire.NodeStats{
+		TS: 3661.5, Node: 0x0012, UptimeS: 3661.5,
+		HelloSent: 61, DataSent: 30, AckSent: 4, Forwarded: 17,
+		HelloRecv: 118, DataRecv: 47, AckRecv: 3, Overheard: 25,
+		Delivered: 30, DupSuppressed: 2, RetriesSpent: 3,
+		RouteCount: 9, QueueLen: 1, AirtimeMS: 4120.5, DutyCycleUsed: 0.0011,
+	}
+	hb := wire.Heartbeat{TS: 3661.5, Node: 0x0012, UptimeS: 3661.5, Firmware: "meshmon-sim/1.0"}
+
+	measure := func(kind string, fill func(b *wire.Batch, n int)) {
+		one := wire.Batch{Node: 0x0012, SeqNo: 1, SentAt: 3670}
+		fill(&one, 1)
+		oneSize, err := wire.EncodedSize(one)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: T1 %s: %v", kind, err))
+		}
+		fifty := wire.Batch{Node: 0x0012, SeqNo: 1, SentAt: 3670}
+		fill(&fifty, 50)
+		fiftySize, err := wire.EncodedSize(fifty)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: T1 %s: %v", kind, err))
+		}
+		binSize, err := wire.EncodedSizeBinary(fifty)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: T1 %s: %v", kind, err))
+		}
+		t.AddRow(kind, d(oneSize), f1(float64(fiftySize)/50), f1(float64(binSize)/50))
+	}
+	measure("packet event", func(b *wire.Batch, n int) {
+		for i := 0; i < n; i++ {
+			b.Packets = append(b.Packets, pkt)
+		}
+	})
+	measure("route snapshot (3 routes)", func(b *wire.Batch, n int) {
+		for i := 0; i < n; i++ {
+			b.Routes = append(b.Routes, routes)
+		}
+	})
+	measure("node stats", func(b *wire.Batch, n int) {
+		for i := 0; i < n; i++ {
+			b.Stats = append(b.Stats, stats)
+		}
+	})
+	measure("heartbeat", func(b *wire.Batch, n int) {
+		for i := 0; i < n; i++ {
+			b.Heartbeats = append(b.Heartbeats, hb)
+		}
+	})
+	empty, _ := wire.EncodedSize(wire.Batch{Node: 0x0012, SeqNo: 1, SentAt: 3670})
+	t.Note("batch envelope alone: %d bytes JSON; batching amortises it, and the binary codec cuts another ~4x", empty)
+	return t
+}
+
+// T2UplinkBandwidth sweeps the report interval and measures the
+// telemetry bandwidth each node consumes on its out-of-band uplink.
+func T2UplinkBandwidth() Table {
+	t := Table{
+		ID:    "T2",
+		Title: "Telemetry uplink bandwidth per node vs report interval (10-node mesh, 30 min)",
+		Columns: []string{"report interval", "records/min/node", "B/min/node (full capture)",
+			"B/min/node (summaries only)"},
+	}
+	const n = 10
+	const dur = 30 * time.Minute
+	for _, interval := range []time.Duration{10 * time.Second, 30 * time.Second,
+		60 * time.Second, 120 * time.Second, 300 * time.Second} {
+		run := func(disableCapture bool) (bytesPerMin, recsPerMin float64) {
+			spec := lineSpec(42, n)
+			spec.SpacingM = 2000 // denser line: more neighbours, more traffic to observe
+			spec.Agent.ReportInterval = interval
+			spec.Agent.DisablePacketCapture = disableCapture
+			sys, err := lorameshmon.New(spec)
+			if err != nil {
+				panic("experiments: T2: " + err.Error())
+			}
+			sys.Start()
+			if err := sys.Deployment.ConvergecastTraffic(1, 2*time.Minute, 20, false); err != nil {
+				panic("experiments: T2: " + err.Error())
+			}
+			sys.RunFor(dur)
+			mins := dur.Minutes() * n
+			return float64(uplinkBytes(sys)) / mins, float64(shippedRecords(sys)) / mins
+		}
+		fullBytes, fullRecs := run(false)
+		liteBytes, _ := run(true)
+		t.AddRow(interval.String(), f1(fullRecs), f1(fullBytes), f1(liteBytes))
+	}
+	t.Note("longer report intervals amortise the batch envelope; disabling per-packet capture roughly halves the bandwidth")
+	return t
+}
+
+// T4OverheadSplit separates what monitoring costs where: the mesh's
+// in-band control airtime (which exists with or without monitoring)
+// versus the monitoring system's out-of-band telemetry bytes.
+func T4OverheadSplit() Table {
+	t := Table{
+		ID:      "T4",
+		Title:   "In-band airtime vs out-of-band telemetry (10-node mesh, 2 h, convergecast every 2 min)",
+		Columns: []string{"category", "volume/node/hour"},
+	}
+	spec := baseSpec(7, 10)
+	spec.AreaM = areaForDensity(10)
+	sys, err := lorameshmon.New(spec)
+	if err != nil {
+		panic("experiments: T4: " + err.Error())
+	}
+	sys.Start()
+	if err := sys.Deployment.ConvergecastTraffic(1, 2*time.Minute, 20, false); err != nil {
+		panic("experiments: T4: " + err.Error())
+	}
+	const dur = 2 * time.Hour
+	sys.RunFor(dur)
+
+	perNodeHour := dur.Hours() * float64(spec.N)
+	airtime := func(typ string) float64 {
+		total := 0.0
+		for _, res := range sys.DB.Query("mesh_airtime_ms", tsdb.Labels{"type": typ}, 0, math.MaxFloat64) {
+			total += tsdb.Aggregate(res.Points, tsdb.AggSum)
+		}
+		return total / perNodeHour
+	}
+	t.AddRow("HELLO airtime (in-band)", f1(airtime("HELLO"))+" ms")
+	t.AddRow("DATA airtime (in-band)", f1(airtime("DATA"))+" ms")
+	t.AddRow("ACK airtime (in-band)", f1(airtime("ACK"))+" ms")
+	t.AddRow("telemetry uplink (out-of-band)", f1(float64(uplinkBytes(sys))/perNodeHour)+" B")
+	t.Note("monitoring adds zero in-band airtime: all telemetry leaves over the nodes' WiFi uplink, as the paper's architecture prescribes")
+	return t
+}

@@ -1,0 +1,413 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"lorameshmon"
+	"lorameshmon/internal/baseline"
+	"lorameshmon/internal/phy"
+	"lorameshmon/internal/radio"
+	"lorameshmon/internal/simkit"
+	"lorameshmon/internal/tsdb"
+)
+
+// F1PDRvsSize measures application delivery ratio as the mesh grows at
+// constant density.
+func F1PDRvsSize() Table {
+	t := Table{
+		ID:      "F1",
+		Title:   "Mesh PDR vs network size (random geometric, constant density, convergecast every 2 min, 2 h)",
+		Columns: []string{"nodes", "area side (m)", "PDR", "collided rx", "fwd/packet"},
+	}
+	for _, n := range []int{5, 10, 15, 20, 30, 40} {
+		spec := baseSpec(11, n)
+		spec.AreaM = areaForDensity(n)
+		spec.Monitor = false
+		dep, err := buildDep(spec)
+		if err != nil {
+			panic("experiments: F1: " + err.Error())
+		}
+		dep.Start()
+		if err := dep.ConvergecastTraffic(1, 2*time.Minute, 20, false); err != nil {
+			panic("experiments: F1: " + err.Error())
+		}
+		dep.RunFor(2 * time.Hour)
+		totals := dep.AppTotals()
+		var forwarded uint64
+		for _, nd := range dep.Nodes {
+			forwarded += nd.Router().Counters().Forwarded
+		}
+		fwdPerPkt := 0.0
+		if totals.Enqueued > 0 {
+			fwdPerPkt = float64(forwarded) / float64(totals.Enqueued)
+		}
+		t.AddRow(d(n), f1(spec.AreaM), pct(dep.PDR()),
+			d(dep.Medium.Stats().Collided), f2(fwdPerPkt))
+	}
+	t.Note("PDR declines with size: collisions start dominating once relaying (fwd/packet) kicks in past ~20 nodes")
+	return t
+}
+
+// buildDep builds an unmonitored deployment (panic-free wrapper lives in
+// callers; errors here bubble up).
+func buildDep(spec lorameshmon.Spec) (*lorameshmon.Deployment, error) {
+	spec.Monitor = false
+	sys, err := lorameshmon.NewWithOptions(spec, lorameshmon.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return sys.Deployment, nil
+}
+
+// F2PDRvsHops measures delivery ratio as a function of hop distance on a
+// controlled line.
+func F2PDRvsHops() Table {
+	t := Table{
+		ID:      "F2",
+		Title:   "PDR vs hop distance (9-node line, each node sends to node 1 every 2 min, 2 h)",
+		Columns: []string{"hops", "offered", "delivered", "PDR"},
+	}
+	const n = 9
+	spec := lineSpec(13, n)
+	spec.Monitor = false
+	dep, err := buildDep(spec)
+	if err != nil {
+		panic("experiments: F2: " + err.Error())
+	}
+	perSrc := make(map[radio.ID]uint64)
+	dep.Nodes[0].OnReceive(func(src radio.ID, _ []byte, _ radio.RxInfo) {
+		perSrc[src]++
+	})
+	dep.Start()
+	if err := dep.ConvergecastTraffic(1, 2*time.Minute, 20, false); err != nil {
+		panic("experiments: F2: " + err.Error())
+	}
+	dep.RunFor(2 * time.Hour)
+	for hop := 1; hop < n; hop++ {
+		src := radio.ID(hop + 1)
+		offered := dep.Node(src).App().Offered
+		delivered := perSrc[src]
+		pdr := 0.0
+		if offered > 0 {
+			pdr = float64(delivered) / float64(offered)
+		}
+		t.AddRow(d(hop), d(offered), d(delivered), pct(pdr))
+	}
+	t.Note("per-hop loss compounds: PDR decays roughly geometrically with distance")
+	return t
+}
+
+// F3Convergence measures cold-start routing convergence versus network
+// diameter.
+func F3Convergence() Table {
+	t := Table{
+		ID:      "F3",
+		Title:   "Cold-start routing convergence vs network size (line topology, 60 s hellos)",
+		Columns: []string{"nodes", "diameter (hops)", "convergence (s)", "telemetry-visible (s)"},
+	}
+	for _, n := range []int{2, 4, 6, 8, 10, 12} {
+		spec := lineSpec(17, n)
+		sys, err := lorameshmon.New(spec)
+		if err != nil {
+			panic("experiments: F3: " + err.Error())
+		}
+		sys.Start()
+		at, ok := sys.Deployment.TimeToConvergence(time.Hour, 5*time.Second)
+		conv := "never"
+		if ok {
+			conv = f1(at.Seconds())
+		}
+		// Let the agents report the converged tables, then find when the
+		// server could first have known.
+		sys.RunFor(5 * time.Minute)
+		visible := "n/a"
+		if ts, ok := convergenceVisible(sys, n); ok {
+			visible = f1(ts)
+		}
+		t.AddRow(d(n), d(n-1), conv, visible)
+	}
+	t.Note("convergence grows with diameter (one hello interval per hop on average); the dashboard lags by up to a stats interval plus upload latency")
+	return t
+}
+
+func convergenceVisible(sys *lorameshmon.System, n int) (float64, bool) {
+	latest := 0.0
+	for _, info := range sys.Collector.Nodes() {
+		res, ok := sys.DB.QueryOne("node_route_count",
+			tsdb.Labels{"node": info.ID.String()}, 0, math.MaxFloat64)
+		if !ok {
+			return 0, false
+		}
+		first := math.NaN()
+		for _, p := range res.Points {
+			if p.Value >= float64(n-1) {
+				first = p.TS
+				break
+			}
+		}
+		if math.IsNaN(first) {
+			return 0, false
+		}
+		if first > latest {
+			latest = first
+		}
+	}
+	return latest, true
+}
+
+// F4Airtime sweeps offered load and shows per-node airtime saturating at
+// the EU868 duty-cycle ceiling.
+func F4Airtime() Table {
+	t := Table{
+		ID:      "F4",
+		Title:   "Airtime utilisation vs offered load (9-node grid, EU868 1%, random traffic, 1 h)",
+		Columns: []string{"packet interval", "mean duty cycle", "max duty cycle", "queue-full drops", "PDR"},
+	}
+	for _, interval := range []time.Duration{10 * time.Second, 20 * time.Second,
+		60 * time.Second, 180 * time.Second} {
+		spec := baseSpec(19, 9)
+		spec.Layout = lorameshmon.Grid
+		spec.SpacingM = 2000
+		spec.Monitor = false
+		dep, err := buildDep(spec)
+		if err != nil {
+			panic("experiments: F4: " + err.Error())
+		}
+		dep.Start()
+		if err := dep.RandomTraffic(interval, 20, false); err != nil {
+			panic("experiments: F4: " + err.Error())
+		}
+		dep.RunFor(time.Hour)
+		now := dep.Sim.Now()
+		var sum, max float64
+		var qdrops uint64
+		for _, nd := range dep.Nodes {
+			u := nd.Radio().Limiter().Utilization(now)
+			sum += u
+			if u > max {
+				max = u
+			}
+			qdrops += nd.Router().Counters().DropQueueFull
+		}
+		t.AddRow(interval.String(), f3(sum/float64(len(dep.Nodes))), f3(max),
+			d(qdrops), pct(dep.PDR()))
+	}
+	t.Note("utilisation saturates at the 1%% regulatory ceiling; the CSMA queue absorbs the excess until it overflows and PDR degrades")
+	return t
+}
+
+// F5Completeness sweeps uplink loss and compares buffering against
+// fire-and-forget reporting.
+func F5Completeness() Table {
+	t := Table{
+		ID:      "F5",
+		Title:   "Monitoring completeness vs uplink loss (5-node line, 1 h)",
+		Columns: []string{"uplink loss", "completeness (buffered)", "completeness (fire-and-forget)"},
+	}
+	run := func(loss float64, disableBuffering bool) float64 {
+		spec := lineSpec(23, 5)
+		spec.Uplink.LossRate = loss
+		spec.Agent.DisableBuffering = disableBuffering
+		spec.Agent.RetryMin = 5 * time.Second
+		spec.Agent.RetryMax = time.Minute
+		sys, err := lorameshmon.New(spec)
+		if err != nil {
+			panic("experiments: F5: " + err.Error())
+		}
+		sys.Start()
+		if err := sys.Deployment.ConvergecastTraffic(1, 2*time.Minute, 20, false); err != nil {
+			panic("experiments: F5: " + err.Error())
+		}
+		sys.RunFor(time.Hour)
+		return sys.MonitoringCompleteness()
+	}
+	for _, loss := range []float64{0, 0.1, 0.2, 0.3, 0.5} {
+		t.AddRow(pct(loss), pct(run(loss, false)), pct(run(loss, true)))
+	}
+	t.Note("buffered retries recover nearly everything; fire-and-forget loses roughly the uplink loss rate")
+	return t
+}
+
+// F6TopologyInference measures how fast the server's inferred topology
+// approaches ground truth.
+func F6TopologyInference() Table {
+	t := Table{
+		ID:      "F6",
+		Title:   "Topology-inference accuracy vs observation time (12-node random mesh)",
+		Columns: []string{"observation time", "edges inferred", "precision", "recall", "F1"},
+	}
+	spec := baseSpec(29, 12)
+	spec.AreaM = areaForDensity(12)
+	sys, err := lorameshmon.New(spec)
+	if err != nil {
+		panic("experiments: F6: " + err.Error())
+	}
+	sys.Start()
+	checkpoints := []time.Duration{2 * time.Minute, 5 * time.Minute, 10 * time.Minute,
+		20 * time.Minute, 40 * time.Minute, 80 * time.Minute}
+	prev := time.Duration(0)
+	for _, cp := range checkpoints {
+		sys.RunFor(cp - prev)
+		prev = cp
+		acc := sys.TopologyAccuracy(1)
+		inferred := sys.InferTopology(1)
+		t.AddRow(cp.String(), d(inferred.Len()), f2(acc.Precision), f2(acc.Recall), f2(acc.F1))
+	}
+	t.Note("recall climbs as hellos accumulate; precision stays high because received HELLOs are direct evidence")
+	return t
+}
+
+// T3FailureDetection measures node-down detection latency versus the
+// heartbeat interval.
+func T3FailureDetection() Table {
+	t := Table{
+		ID:      "T3",
+		Title:   "Node-failure detection latency vs heartbeat interval (timeout = 3 intervals, checks every 5 s)",
+		Columns: []string{"heartbeat interval", "timeout", "detection latency (s)", "latency/interval"},
+	}
+	for _, hb := range []time.Duration{10 * time.Second, 30 * time.Second,
+		60 * time.Second, 120 * time.Second} {
+		spec := lineSpec(31, 3)
+		spec.Agent.HeartbeatInterval = hb
+		timeout := 3 * hb
+		sys, err := lorameshmon.NewWithOptions(spec, lorameshmon.Options{
+			Alert:              alertConfigWithTimeout(timeout),
+			AlertCheckInterval: 5 * time.Second,
+		})
+		if err != nil {
+			panic("experiments: T3: " + err.Error())
+		}
+		sys.Start()
+		sys.RunFor(10 * time.Minute)
+		killAt := sys.Deployment.Sim.Now()
+		sys.Deployment.Node(3).Fail()
+		sys.RunFor(timeout + 10*time.Minute)
+		latency := math.NaN()
+		for _, a := range sys.FiredAlerts() {
+			if a.Kind == "node-down" && a.Node == 3 {
+				latency = a.FiredAt - killAt.Seconds()
+				break
+			}
+		}
+		if math.IsNaN(latency) {
+			t.AddRow(hb.String(), timeout.String(), "not detected", "-")
+			continue
+		}
+		t.AddRow(hb.String(), timeout.String(), f1(latency), f2(latency/hb.Seconds()))
+	}
+	t.Note("latency is the timeout minus the age of the last heartbeat at death (~2 intervals on average) plus the check cadence")
+	return t
+}
+
+// F7QueryLatency measures dashboard/TSDB range-query latency as the
+// store grows.
+func F7QueryLatency() Table {
+	t := Table{
+		ID:      "F7",
+		Title:   "TSDB query latency vs stored points (10 series, wall-clock)",
+		Columns: []string{"points total", "full range query", "1%-window query", "downsample 100 buckets"},
+	}
+	for _, perSeries := range []int{100, 1000, 10_000, 100_000} {
+		db := tsdb.New()
+		for s := 0; s < 10; s++ {
+			lbl := tsdb.Labels{"node": fmt.Sprintf("N%04X", s+1)}
+			for i := 0; i < perSeries; i++ {
+				db.Append("m", lbl, float64(i), float64(i%97))
+			}
+		}
+		total := 10 * perSeries
+		span := float64(perSeries)
+		fullQ := timeIt(func() { db.Query("m", nil, 0, span) })
+		narrowQ := timeIt(func() { db.Query("m", nil, span*0.49, span*0.50) })
+		down := timeIt(func() {
+			res, _ := db.QueryOne("m", tsdb.Labels{"node": "N0001"}, 0, span)
+			tsdb.Downsample(res.Points, 0, span/100, tsdb.AggAvg)
+		})
+		t.AddRow(d(total), fullQ.String(), narrowQ.String(), down.String())
+	}
+	t.Note("narrow windows stay fast as the store grows (binary-searched range); full scans grow linearly")
+	return t
+}
+
+func timeIt(f func()) time.Duration {
+	const reps = 20
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		f()
+	}
+	return time.Since(start) / reps
+}
+
+// F8MeshVsStar compares the mesh against the LoRaWAN single-gateway
+// baseline as the sensor moves beyond single-hop range.
+func F8MeshVsStar() Table {
+	t := Table{
+		ID:      "F8",
+		Title:   "Delivery vs node-gateway distance: LoRaWAN star baseline vs mesh with relays (2 h)",
+		Columns: []string{"distance (x range)", "star PDR", "mesh PDR", "mesh hops"},
+	}
+	ch := phy.DefaultChannel()
+	ch.ShadowingSigmaDB = 0
+	rangeM := ch.MaxRangeM(phy.DefaultParams())
+	for _, frac := range []float64{0.5, 0.8, 1.2, 1.6, 2.4, 3.2} {
+		dist := frac * rangeM
+		star := starPDR(41, dist)
+		meshPDR, hops := meshChainPDR(43, dist, rangeM)
+		t.AddRow(f1(frac), pct(star), pct(meshPDR), d(hops))
+	}
+	t.Note("the star collapses right past nominal range; the mesh sustains delivery by relaying, which is exactly why mesh-specific monitoring is needed")
+	return t
+}
+
+// starPDR runs a single gateway + one device at dist for 2 h.
+func starPDR(seed int64, dist float64) float64 {
+	sim := simkit.New(seed)
+	cfg := radio.DefaultConfig()
+	cfg.Channel.ShadowingSigmaDB = 0
+	medium := radio.NewMedium(sim, cfg)
+	gw, err := medium.AttachRadio(1, phy.Point{}, phy.DefaultParams(), phy.EU868())
+	if err != nil {
+		panic("experiments: F8: " + err.Error())
+	}
+	dev, err := medium.AttachRadio(2, phy.Point{X: dist}, phy.DefaultParams(), phy.EU868())
+	if err != nil {
+		panic("experiments: F8: " + err.Error())
+	}
+	net := baseline.New(sim, gw)
+	if err := net.AddDevice(dev, baseline.DeviceConfig{
+		Interval: 2 * time.Minute, JitterFrac: 0.2, PayloadBytes: 20,
+	}); err != nil {
+		panic("experiments: F8: " + err.Error())
+	}
+	net.Start()
+	sim.RunFor(2 * time.Hour)
+	return net.Totals().PDR()
+}
+
+// meshChainPDR places relays every 0.8×range between the gateway and the
+// sensor at dist, then measures end-to-end delivery.
+func meshChainPDR(seed int64, dist, rangeM float64) (float64, int) {
+	hopLen := 0.8 * rangeM
+	hops := int(math.Ceil(dist / hopLen))
+	if hops < 1 {
+		hops = 1
+	}
+	spec := baseSpec(seed, hops+1)
+	spec.Layout = lorameshmon.Line
+	spec.SpacingM = dist / float64(hops)
+	spec.Monitor = false
+	dep, err := buildDep(spec)
+	if err != nil {
+		panic("experiments: F8 mesh: " + err.Error())
+	}
+	dep.Start()
+	// Only the far end generates traffic (matching the star's one device).
+	err = dep.Node(radio.ID(hops + 1)).AddTraffic(nodeTraffic(2 * time.Minute))
+	if err != nil {
+		panic("experiments: F8 mesh: " + err.Error())
+	}
+	dep.RunFor(2 * time.Hour)
+	return dep.PDR(), hops
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"lorameshmon"
+	"lorameshmon/internal/analysis"
+	"lorameshmon/internal/simkit"
+	"lorameshmon/internal/uplink"
+	"time"
+)
+
+// Experiment pairs an identifier with its generator.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func() Table
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"T1", "record-overhead", T1RecordOverhead},
+		{"T2", "uplink-bandwidth", T2UplinkBandwidth},
+		{"F1", "pdr-vs-size", F1PDRvsSize},
+		{"F2", "pdr-vs-hops", F2PDRvsHops},
+		{"F3", "convergence", F3Convergence},
+		{"F4", "airtime", F4Airtime},
+		{"F5", "completeness", F5Completeness},
+		{"F6", "topology-inference", F6TopologyInference},
+		{"T3", "failure-detection", T3FailureDetection},
+		{"F7", "query-latency", F7QueryLatency},
+		{"F8", "mesh-vs-star", F8MeshVsStar},
+		{"F9", "latency-vs-hops", F9LatencyVsHops},
+		{"F10", "mobility", F10Mobility},
+		{"F11", "star-adr", F11StarADR},
+		{"F12", "large-transfers", F12LargeTransfers},
+		{"T4", "overhead-split", T4OverheadSplit},
+		{"T5", "ingest-throughput", T5IngestThroughput},
+		{"A1", "ablation-batching", AblationBatching},
+		{"A2", "ablation-drop-policy", AblationDropPolicy},
+		{"A3", "ablation-capture", AblationCapture},
+		{"A4", "ablation-route-timeout", AblationRouteTimeout},
+		{"A5", "ablation-snr-routing", AblationSNRRouting},
+	}
+}
+
+// scheduleOutages takes every monitored node's uplink down at 'at' for
+// the given duration.
+func scheduleOutages(sys *lorameshmon.System, at simkit.Time, d time.Duration) {
+	for _, n := range sys.Deployment.Nodes {
+		ag := n.Agent()
+		if ag == nil {
+			continue
+		}
+		if link, ok := ag.Uplink().(*uplink.Sim); ok {
+			link.ScheduleOutage(at, d)
+		}
+	}
+}
+
+// packetEventsBetween counts the packet events visible at the server
+// whose record timestamps fall in [from, to) seconds.
+func packetEventsBetween(sys *lorameshmon.System, from, to float64) uint64 {
+	return analysis.PacketEventsIngested(sys.Collector, from, to-1e-9)
+}

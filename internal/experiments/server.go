@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"lorameshmon/internal/collector"
+	"lorameshmon/internal/tsdb"
+	"lorameshmon/internal/uplink"
+	"lorameshmon/internal/wire"
+)
+
+// T5IngestThroughput measures the collector's capacity on this machine:
+// how many telemetry batches per second it sustains through each ingest
+// path. It bounds how large a fleet one monitoring server supports.
+func T5IngestThroughput() Table {
+	t := Table{
+		ID:      "T5",
+		Title:   "Collector ingest throughput (32 packet records/batch, wall-clock, this machine)",
+		Columns: []string{"path", "batches/s", "records/s"},
+	}
+	const perBatch = 32
+	const batches = 1000
+
+	makeBatch := func(node wire.NodeID, seq uint64) wire.Batch {
+		b := wire.Batch{Node: node, SeqNo: seq, SentAt: float64(seq)}
+		for i := 0; i < perBatch; i++ {
+			b.Packets = append(b.Packets, wire.PacketRecord{
+				TS: float64(seq), Node: node, Event: wire.EventRx, Type: "HELLO",
+				Src: node + 1, Dst: wire.BroadcastID, Via: wire.BroadcastID,
+				Seq: uint16(i), TTL: 1, Size: 23,
+				RSSIdBm: -100, SNRdB: 5, ForUs: true, AirtimeMS: 46,
+			})
+		}
+		return b
+	}
+	report := func(path string, elapsed time.Duration, n int) {
+		bps := float64(n) / elapsed.Seconds()
+		t.AddRow(path, f1(bps), f1(bps*perBatch))
+	}
+
+	// Direct in-process ingest (the simulator's path).
+	{
+		c := collector.New(tsdb.New(), collector.DefaultConfig())
+		start := time.Now()
+		for i := 1; i <= batches; i++ {
+			if err := c.Ingest(makeBatch(1, uint64(i))); err != nil {
+				panic("experiments: T5 direct: " + err.Error())
+			}
+		}
+		report("direct (in-process)", time.Since(start), batches)
+	}
+
+	// HTTP paths through the real ingest handler.
+	for _, binary := range []bool{false, true} {
+		c := collector.New(tsdb.New(), collector.DefaultConfig())
+		srv := httptest.NewServer(c.APIHandler())
+		up := uplink.NewHTTP(srv.URL + "/api/v1/ingest")
+		up.Binary = binary
+		start := time.Now()
+		for i := 1; i <= batches; i++ {
+			if err := up.SendSync(makeBatch(1, uint64(i))); err != nil {
+				srv.Close()
+				panic(fmt.Sprintf("experiments: T5 http(binary=%v): %v", binary, err))
+			}
+		}
+		label := "HTTP JSON"
+		if binary {
+			label = "HTTP binary"
+		}
+		report(label, time.Since(start), batches)
+		srv.Close()
+	}
+	t.Note("one server ingests thousands of batches per second; even a 1000-node mesh reporting every 30 s needs only ~33 batches/s")
+	return t
+}

@@ -1,0 +1,84 @@
+// Package experiments regenerates every table and figure of the
+// evaluation. Each experiment is a function returning a Table whose rows
+// are the series/rows the paper-style report plots; cmd/meshmon-experiments
+// prints them and bench_test.go wraps each one in a benchmark.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result: an identifier (table/figure number
+// in EXPERIMENTS.md), a caption, column headers and formatted rows.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Note appends a free-text annotation printed under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the table as aligned text.
+func (t Table) Format() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// f3 formats a float with three decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// pct formats a fraction as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// d formats an integer.
+func d[T ~int | ~int64 | ~uint64 | ~uint](v T) string { return fmt.Sprintf("%d", v) }

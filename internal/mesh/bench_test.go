@@ -1,0 +1,38 @@
+package mesh
+
+import (
+	"testing"
+	"time"
+
+	"lorameshmon/internal/phy"
+	"lorameshmon/internal/radio"
+	"lorameshmon/internal/simkit"
+)
+
+// BenchmarkMeshHour measures simulator throughput: one hour of a busy
+// 8-node line mesh per iteration.
+func BenchmarkMeshHour(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim := simkit.New(7)
+		medium := radio.NewMedium(sim, testMediumConfig())
+		var routers []*Router
+		for j := 0; j < 8; j++ {
+			rad, err := medium.AttachRadio(radio.ID(j+1),
+				phy.Point{X: float64(j) * testSpacing}, phy.DefaultParams(), phy.Unregulated())
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := NewRouter(sim, rad, Config{})
+			r.Start()
+			routers = append(routers, r)
+		}
+		sim.RunFor(10 * time.Minute)
+		done := sim.Every(time.Minute, func() {
+			routers[7].Send(1, []byte("reading"), false) //nolint:errcheck
+		})
+		sim.RunFor(50 * time.Minute)
+		done.Stop()
+		b.ReportMetric(float64(sim.EventsFired()), "events")
+	}
+}

@@ -1,0 +1,130 @@
+package mesh
+
+import "time"
+
+// Config tunes the mesh protocol. Zero-valued fields are replaced by the
+// LoRaMesher-inspired defaults in withDefaults.
+type Config struct {
+	// HelloInterval is the period between routing-table broadcasts.
+	HelloInterval time.Duration
+	// HelloJitterFrac randomises each hello period by ±frac to
+	// desynchronise nodes that boot together.
+	HelloJitterFrac float64
+	// RouteTimeoutFactor sets route expiry as a multiple of
+	// HelloInterval; a route missing that many consecutive hellos is
+	// evicted. Subject of the route-timeout ablation.
+	RouteTimeoutFactor float64
+	// DefaultTTL is the hop budget of originated data packets.
+	DefaultTTL uint8
+	// QueueCap bounds the transmit queue; packets beyond it are dropped.
+	QueueCap int
+	// BackoffMin/BackoffMax bound the random CSMA backoff delay.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// TxGap is the pause between consecutive queued transmissions.
+	TxGap time.Duration
+	// MaxRetries is how many times a reliable packet is retransmitted
+	// before delivery is declared failed.
+	MaxRetries int
+	// AckTimeout is how long to wait for an end-to-end ACK.
+	AckTimeout time.Duration
+	// DedupWindow is how long (src, seq) pairs are remembered.
+	DedupWindow time.Duration
+	// FragTimeout is the receiver's idle wait before requesting missing
+	// fragments of a large transfer (the sender waits twice this for a
+	// response before blind retransmission). Under EU868 regulation a
+	// fragment legitimately takes tens of seconds per hop, so keep this
+	// generous.
+	FragTimeout time.Duration
+	// FragMaxRetries bounds fragment-recovery rounds on both ends.
+	FragMaxRetries int
+	// MaxConcurrentTransfers bounds in-flight outbound large transfers.
+	MaxConcurrentTransfers int
+	// SNRTiebreakDB enables SNR-aware selection between equal-metric
+	// routes: an alternative next hop wins when its first-hop SNR is
+	// better by at least this many dB. Zero disables (plain hop count).
+	SNRTiebreakDB float64
+	// Role is advertised in this node's HELLOs (RoleNode, RoleGateway).
+	Role uint8
+}
+
+// DefaultConfig returns the defaults used throughout the evaluation:
+// 60 s hellos with 10% jitter, route timeout after 3.5 missed hellos,
+// TTL 10, a 32-packet queue and 3 retries with a 15 s ACK timeout.
+func DefaultConfig() Config {
+	return Config{
+		HelloInterval:          60 * time.Second,
+		HelloJitterFrac:        0.1,
+		RouteTimeoutFactor:     3.5,
+		DefaultTTL:             10,
+		QueueCap:               32,
+		BackoffMin:             30 * time.Millisecond,
+		BackoffMax:             300 * time.Millisecond,
+		TxGap:                  20 * time.Millisecond,
+		MaxRetries:             3,
+		AckTimeout:             15 * time.Second,
+		DedupWindow:            5 * time.Minute,
+		FragTimeout:            60 * time.Second,
+		FragMaxRetries:         3,
+		MaxConcurrentTransfers: 4,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.HelloInterval <= 0 {
+		c.HelloInterval = d.HelloInterval
+	}
+	if c.HelloJitterFrac <= 0 {
+		c.HelloJitterFrac = d.HelloJitterFrac
+	}
+	if c.RouteTimeoutFactor <= 0 {
+		c.RouteTimeoutFactor = d.RouteTimeoutFactor
+	}
+	if c.DefaultTTL == 0 || c.DefaultTTL > MaxTTL {
+		c.DefaultTTL = d.DefaultTTL
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = d.QueueCap
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = d.BackoffMin
+	}
+	if c.BackoffMax <= c.BackoffMin {
+		if d.BackoffMax > c.BackoffMin {
+			c.BackoffMax = d.BackoffMax
+		} else {
+			c.BackoffMax = 2 * c.BackoffMin
+		}
+	}
+	if c.TxGap <= 0 {
+		c.TxGap = d.TxGap
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = d.MaxRetries
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = d.MaxRetries
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = d.AckTimeout
+	}
+	if c.DedupWindow <= 0 {
+		c.DedupWindow = d.DedupWindow
+	}
+	if c.FragTimeout <= 0 {
+		c.FragTimeout = d.FragTimeout
+	}
+	if c.FragMaxRetries <= 0 {
+		c.FragMaxRetries = d.FragMaxRetries
+	}
+	if c.MaxConcurrentTransfers <= 0 {
+		c.MaxConcurrentTransfers = d.MaxConcurrentTransfers
+	}
+	return c
+}
+
+// RouteTimeout returns the configured route expiry duration.
+func (c Config) RouteTimeout() time.Duration {
+	return time.Duration(float64(c.HelloInterval) * c.RouteTimeoutFactor)
+}

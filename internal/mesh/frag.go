@@ -1,0 +1,459 @@
+package mesh
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"lorameshmon/internal/phy"
+	"lorameshmon/internal/radio"
+	"lorameshmon/internal/simkit"
+)
+
+// Large-payload transfers (LoRaMesher's "XL packets"): payloads bigger
+// than one LoRa frame are split into fragments that are routed hop by
+// hop like ordinary data; the destination reassembles, requests missing
+// fragments, and acknowledges the completed transfer end-to-end.
+//
+// Every fragment carries (TransferID, FragIndex, FragCount), so the
+// receiver can start reassembly from any fragment — there is no
+// separate announcement packet to lose.
+
+// Additional packet types for fragmentation.
+const (
+	// TypeFrag carries one fragment of a large transfer.
+	TypeFrag PacketType = iota + 4
+	// TypeFragReq lists fragment indexes the destination still misses.
+	TypeFragReq
+	// TypeFragAck acknowledges a completed transfer.
+	TypeFragAck
+)
+
+// fragTypeNames extends PacketType.String (see packet.go).
+func fragTypeName(t PacketType) (string, bool) {
+	switch t {
+	case TypeFrag:
+		return "FRAG", true
+	case TypeFragReq:
+		return "FRAGREQ", true
+	case TypeFragAck:
+		return "FRAGACK", true
+	}
+	return "", false
+}
+
+// Fragmentation wire-size constants.
+const (
+	// FragHeaderBytes is the per-fragment overhead beyond the common
+	// header: transferID(2) + index(2) + count(2).
+	FragHeaderBytes = 6
+	// FragChunkBytes is the payload carried per fragment.
+	FragChunkBytes = MaxPayload - FragHeaderBytes
+	// MaxTransferBytes bounds a large transfer (uint16 index space is
+	// far larger; this is a sanity bound mirroring device memory).
+	MaxTransferBytes = 8 * 1024
+)
+
+// Errors for large transfers.
+var (
+	ErrTransferSize = errors.New("mesh: transfer exceeds maximum size")
+	ErrTransferBusy = errors.New("mesh: too many concurrent transfers")
+)
+
+// TransferStatus reports the outcome of a large send.
+type TransferStatus int
+
+// Transfer outcomes.
+const (
+	TransferPending TransferStatus = iota
+	TransferDelivered
+	TransferFailed
+)
+
+func (s TransferStatus) String() string {
+	switch s {
+	case TransferPending:
+		return "pending"
+	case TransferDelivered:
+		return "delivered"
+	case TransferFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// outTransfer is the sender side of a large transfer.
+type outTransfer struct {
+	id       uint16
+	dst      radio.ID
+	chunks   [][]byte
+	nextFeed int // next chunk index for windowed first-pass feeding
+	retries  int
+	timer    *simkit.Event
+	done     func(TransferStatus)
+}
+
+// inTransfer is the receiver side.
+type inTransfer struct {
+	src      radio.ID
+	id       uint16
+	count    int
+	frags    map[uint16][]byte
+	reqs     int
+	timer    *simkit.Event
+	lastInfo radio.RxInfo
+	// lastAt/gapMax track the observed fragment pacing so the idle
+	// timeout adapts to duty-cycle-limited senders.
+	lastAt simkit.Time
+	gapMax time.Duration
+}
+
+// idleTimeout returns how long without progress counts as "stalled":
+// at least the configured timeout, or twice the largest gap seen.
+func (in *inTransfer) idleTimeout(base time.Duration) time.Duration {
+	if d := 2 * in.gapMax; d > base {
+		return d
+	}
+	return base
+}
+
+// FragCounters tallies large-transfer activity.
+type FragCounters struct {
+	TransfersSent      uint64
+	TransfersDelivered uint64 // acked back to this sender
+	TransfersFailed    uint64
+	TransfersReceived  uint64 // reassembled at this node
+	FragSent           uint64
+	FragRetrans        uint64
+	FragReqSent        uint64
+	ReassemblyExpired  uint64
+}
+
+// FragCounters returns the router's large-transfer counters.
+func (r *Router) FragCounters() FragCounters { return r.frag }
+
+// SendLarge queues a payload of up to MaxTransferBytes for dst,
+// fragmenting it across as many frames as needed. done (optional) is
+// invoked exactly once with the final status. It returns the transfer
+// id.
+func (r *Router) SendLarge(dst radio.ID, payload []byte, done func(TransferStatus)) (uint16, error) {
+	if !r.running {
+		return 0, ErrStopped
+	}
+	if dst == radio.Broadcast {
+		return 0, fmt.Errorf("mesh: large transfers cannot be broadcast")
+	}
+	if len(payload) == 0 || len(payload) > MaxTransferBytes {
+		return 0, ErrTransferSize
+	}
+	if len(r.outXfers) >= r.cfg.MaxConcurrentTransfers {
+		return 0, ErrTransferBusy
+	}
+	if _, ok := r.table.Lookup(dst); !ok {
+		return 0, ErrNoRoute
+	}
+	id := r.nextSeq()
+	t := &outTransfer{id: id, dst: dst, done: done}
+	for off := 0; off < len(payload); off += FragChunkBytes {
+		end := off + FragChunkBytes
+		if end > len(payload) {
+			end = len(payload)
+		}
+		chunk := make([]byte, end-off)
+		copy(chunk, payload[off:end])
+		t.chunks = append(t.chunks, chunk)
+	}
+	r.outXfers[id] = t
+	r.frag.TransfersSent++
+	// Feed the queue in a window rather than all at once: transfers can
+	// exceed the queue capacity, and fragments dropped at the source
+	// would need a full recovery round each.
+	r.feedTransfer(t)
+	r.armTransferTimer(t)
+	return id, nil
+}
+
+// feedWindow bounds how many fragments of one transfer sit in the queue.
+func (r *Router) feedWindow() int {
+	w := r.cfg.QueueCap / 2
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// feedTransfer tops the queue up with this transfer's next fragments.
+func (r *Router) feedTransfer(t *outTransfer) {
+	for t.nextFeed < len(t.chunks) && len(r.queue) < r.feedWindow() {
+		r.sendFragment(t, uint16(t.nextFeed))
+		t.nextFeed++
+	}
+}
+
+// OutstandingTransfers returns how many large sends are in flight.
+func (r *Router) OutstandingTransfers() int { return len(r.outXfers) }
+
+func (r *Router) sendFragment(t *outTransfer, idx uint16) {
+	route, ok := r.table.Lookup(t.dst)
+	if !ok {
+		return // next timer tick may find a recovered route
+	}
+	pkt := Packet{
+		Type:       TypeFrag,
+		Src:        r.rad.ID(),
+		Dst:        t.dst,
+		Via:        route.NextHop,
+		Seq:        r.nextSeq(),
+		TTL:        r.cfg.DefaultTTL,
+		TransferID: t.id,
+		FragIndex:  idx,
+		FragCount:  uint16(len(t.chunks)),
+		Payload:    t.chunks[idx],
+	}
+	if r.enqueue(outItem{pkt: pkt}) == nil {
+		r.frag.FragSent++
+	}
+}
+
+// transferDeadline estimates how long one full pass of the transfer
+// legitimately takes: under duty-cycle regulation each fragment costs
+// airtime/dutyCycle of wall time per transmitting hop, so a silent
+// period shorter than that is not evidence of loss.
+func (r *Router) transferDeadline(t *outTransfer) time.Duration {
+	frame := phy.Airtime(r.rad.Params(), HeaderBytes+FragHeaderBytes+FragChunkBytes)
+	duty := r.rad.Limiter().Region().DutyCycle
+	if duty <= 0 || duty > 1 {
+		duty = 1
+	}
+	spacing := time.Duration(float64(frame) / duty)
+	// Twice the stream time leaves room for relaying and contention.
+	est := 2 * time.Duration(len(t.chunks)) * spacing
+	if min := 2 * r.cfg.FragTimeout; est < min {
+		return min
+	}
+	return est
+}
+
+func (r *Router) armTransferTimer(t *outTransfer) {
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+	t.timer = r.sim.After(r.transferDeadline(t), func() { r.transferTimeout(t.id) })
+}
+
+func (r *Router) transferTimeout(id uint16) {
+	t, ok := r.outXfers[id]
+	if !ok || !r.running {
+		return
+	}
+	// Fragments can legitimately sit in the transmit queue for minutes
+	// under duty-cycle regulation; as long as our own queue still holds
+	// part of this transfer there has been no silence to act on.
+	for _, it := range r.queue {
+		if it.pkt.Type == TypeFrag && it.pkt.TransferID == id && it.pkt.Src == r.rad.ID() {
+			r.armTransferTimer(t)
+			return
+		}
+	}
+	if t.retries >= r.cfg.FragMaxRetries {
+		delete(r.outXfers, id)
+		r.frag.TransfersFailed++
+		if t.done != nil {
+			t.done(TransferFailed)
+		}
+		return
+	}
+	// No FRAGREQ/FRAGACK heard: assume everything after the first
+	// fragment is in doubt and restart the windowed feed (the receiver's
+	// index set makes duplicates harmless).
+	t.retries++
+	r.frag.FragRetrans += uint64(len(t.chunks))
+	t.nextFeed = 0
+	r.feedTransfer(t)
+	r.armTransferTimer(t)
+}
+
+// --- receive-side handlers, called from onFrame ---
+
+func (r *Router) onFrag(pkt Packet, info radio.RxInfo) {
+	if pkt.Dst != r.rad.ID() {
+		r.forwardUnicast(pkt)
+		return
+	}
+	key := xferKey{src: pkt.Src, id: pkt.TransferID}
+	if _, done := r.doneXfers[key]; done {
+		// The sender retransmitted because our FRAGACK was lost: answer
+		// again, but never re-deliver the payload.
+		r.sendFragControl(TypeFragAck, pkt.Src, pkt.TransferID, nil)
+		return
+	}
+	in, ok := r.inXfers[key]
+	if !ok {
+		if pkt.FragCount == 0 {
+			return // malformed
+		}
+		in = &inTransfer{
+			src:   pkt.Src,
+			id:    pkt.TransferID,
+			count: int(pkt.FragCount),
+			frags: make(map[uint16][]byte),
+		}
+		r.inXfers[key] = in
+		r.armReassemblyTimer(key, in)
+	}
+	if int(pkt.FragIndex) >= in.count {
+		return
+	}
+	if _, dup := in.frags[pkt.FragIndex]; !dup {
+		in.frags[pkt.FragIndex] = pkt.Payload
+		now := r.sim.Now()
+		if in.lastAt > 0 {
+			if gap := now.Sub(in.lastAt); gap > in.gapMax {
+				in.gapMax = gap
+			}
+		}
+		in.lastAt = now
+		// Progress resets both the idle timer and the request budget:
+		// a slow, duty-cycle-limited sender is not a dead sender.
+		in.reqs = 0
+		r.armReassemblyTimer(key, in)
+	}
+	in.lastInfo = info
+	if len(in.frags) == in.count {
+		r.completeReassembly(key, in)
+	}
+}
+
+func (r *Router) completeReassembly(key xferKey, in *inTransfer) {
+	if in.timer != nil {
+		in.timer.Stop()
+	}
+	delete(r.inXfers, key)
+	r.doneXfers[key] = r.sim.Now()
+	r.frag.TransfersReceived++
+	var payload []byte
+	for i := 0; i < in.count; i++ {
+		payload = append(payload, in.frags[uint16(i)]...)
+	}
+	r.counters.Delivered++
+	if r.deliver != nil {
+		r.deliver(in.src, payload, in.lastInfo)
+	}
+	r.sendFragControl(TypeFragAck, in.src, in.id, nil)
+}
+
+func (r *Router) armReassemblyTimer(key xferKey, in *inTransfer) {
+	if in.timer != nil {
+		in.timer.Stop()
+	}
+	in.timer = r.sim.After(in.idleTimeout(r.cfg.FragTimeout), func() { r.reassemblyTimeout(key) })
+}
+
+func (r *Router) reassemblyTimeout(key xferKey) {
+	in, ok := r.inXfers[key]
+	if !ok || !r.running {
+		return
+	}
+	if in.reqs >= r.cfg.FragMaxRetries {
+		delete(r.inXfers, key)
+		r.frag.ReassemblyExpired++
+		return
+	}
+	in.reqs++
+	missing := make([]uint16, 0, in.count-len(in.frags))
+	for i := 0; i < in.count; i++ {
+		if _, ok := in.frags[uint16(i)]; !ok {
+			missing = append(missing, uint16(i))
+		}
+	}
+	r.frag.FragReqSent++
+	r.sendFragControl(TypeFragReq, in.src, in.id, missing)
+	r.armReassemblyTimer(key, in)
+}
+
+// sendFragControl routes a FRAGREQ or FRAGACK back to the transfer's
+// origin.
+func (r *Router) sendFragControl(typ PacketType, dst radio.ID, transferID uint16, missing []uint16) {
+	route, ok := r.table.Lookup(dst)
+	if !ok {
+		return
+	}
+	pkt := Packet{
+		Type:       typ,
+		Src:        r.rad.ID(),
+		Dst:        dst,
+		Via:        route.NextHop,
+		Seq:        r.nextSeq(),
+		TTL:        r.cfg.DefaultTTL,
+		TransferID: transferID,
+		Missing:    missing,
+	}
+	r.enqueue(outItem{pkt: pkt}) //nolint:errcheck // drop already tapped
+}
+
+func (r *Router) onFragReq(pkt Packet) {
+	if pkt.Dst != r.rad.ID() {
+		r.forwardUnicast(pkt)
+		return
+	}
+	t, ok := r.outXfers[pkt.TransferID]
+	if !ok {
+		return // transfer already finished or failed
+	}
+	sort.Slice(pkt.Missing, func(i, j int) bool { return pkt.Missing[i] < pkt.Missing[j] })
+	for _, idx := range pkt.Missing {
+		if int(idx) < len(t.chunks) {
+			r.frag.FragRetrans++
+			r.sendFragment(t, idx)
+		}
+	}
+	r.armTransferTimer(t)
+}
+
+func (r *Router) onFragAck(pkt Packet) {
+	if pkt.Dst != r.rad.ID() {
+		r.forwardUnicast(pkt)
+		return
+	}
+	t, ok := r.outXfers[pkt.TransferID]
+	if !ok {
+		return
+	}
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+	delete(r.outXfers, pkt.TransferID)
+	r.frag.TransfersDelivered++
+	if t.done != nil {
+		t.done(TransferDelivered)
+	}
+}
+
+// forwardUnicast relays a via-addressed packet toward its destination,
+// shared by fragment and fragment-control forwarding.
+func (r *Router) forwardUnicast(pkt Packet) {
+	if pkt.TTL <= 1 {
+		r.counters.DropTTL++
+		r.drop(pkt, DropTTL)
+		return
+	}
+	route, ok := r.table.Lookup(pkt.Dst)
+	if !ok {
+		r.counters.DropNoRoute++
+		r.drop(pkt, DropNoRoute)
+		return
+	}
+	fwd := pkt
+	fwd.Via = route.NextHop
+	fwd.TTL = pkt.TTL - 1
+	if r.enqueue(outItem{pkt: fwd}) == nil {
+		// forwarded counter is bumped when the frame leaves the radio
+	}
+}
+
+type xferKey struct {
+	src radio.ID
+	id  uint16
+}

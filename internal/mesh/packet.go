@@ -1,0 +1,137 @@
+// Package mesh implements a LoRa mesh protocol in the style of
+// LoRaMesher, the stack the monitored network in the paper runs:
+// proactive distance-vector routing with periodic routing-table
+// broadcasts, hop-count metrics, hop-by-hop data forwarding with a
+// next-hop ("via") field, duplicate suppression, CSMA with random
+// backoff, and an optional end-to-end acknowledgement mode.
+package mesh
+
+import (
+	"fmt"
+
+	"lorameshmon/internal/radio"
+)
+
+// PacketType discriminates mesh frames.
+type PacketType uint8
+
+// Mesh packet types. Values start at 1 so the zero value is invalid.
+const (
+	// TypeHello is the periodic routing-table broadcast.
+	TypeHello PacketType = iota + 1
+	// TypeData carries application payload hop by hop.
+	TypeData
+	// TypeAck is the end-to-end acknowledgement for reliable data.
+	TypeAck
+)
+
+func (t PacketType) String() string {
+	switch t {
+	case TypeHello:
+		return "HELLO"
+	case TypeData:
+		return "DATA"
+	case TypeAck:
+		return "ACK"
+	default:
+		if name, ok := fragTypeName(t); ok {
+			return name
+		}
+		return fmt.Sprintf("TYPE(%d)", uint8(t))
+	}
+}
+
+// Valid reports whether t is a known packet type.
+func (t PacketType) Valid() bool { return t >= TypeHello && t <= TypeFragAck }
+
+// Wire-format size constants. The header mirrors LoRaMesher's frame
+// layout: type(1) + src(2) + dst(2) + via(2) + seq(2) + ttl(1) + len(1).
+const (
+	HeaderBytes  = 11
+	RouteAdBytes = 6 // address(2) + metric(1) + role(1) + via(2)
+	AckBodyBytes = 2 // acknowledged sequence number
+	MaxPayload   = 200
+	MaxTTL       = 16
+	MetricInf    = 16 // unreachable metric cap (count-to-infinity guard)
+)
+
+// RouteAd is one routing-table entry advertised inside a HELLO. Via is
+// the advertiser's next hop for the destination; receivers apply split
+// horizon with it (ignore routes that would come straight back), which
+// kills two-node count-to-infinity loops that plain broadcast
+// distance-vector is otherwise prone to.
+type RouteAd struct {
+	Addr   radio.ID
+	Metric uint8
+	Role   uint8
+	Via    radio.ID
+}
+
+// Packet is a mesh frame. Inside the simulator packets travel as
+// structured values; Size() reports the bytes the frame would occupy on
+// the air, which drives the airtime model and the monitoring byte
+// counters.
+type Packet struct {
+	Type PacketType
+	Src  radio.ID
+	Dst  radio.ID
+	// Via is the link-layer next hop this transmission addresses. For
+	// HELLO broadcasts it is radio.Broadcast.
+	Via radio.ID
+	// Seq is the origin's sequence number, scoped per source node.
+	Seq uint16
+	TTL uint8
+	// WantAck requests an end-to-end ACK (reliable data mode).
+	WantAck bool
+	// Payload is the application payload of a DATA packet.
+	Payload []byte
+	// Routes is the advertised table of a HELLO packet.
+	Routes []RouteAd
+	// SrcRole is the sender's role byte (HELLO packets).
+	SrcRole uint8
+	// AckFor is the acknowledged sequence number of an ACK packet.
+	AckFor uint16
+	// TransferID identifies a large transfer (FRAG/FRAGREQ/FRAGACK).
+	TransferID uint16
+	// FragIndex/FragCount position a FRAG within its transfer.
+	FragIndex uint16
+	FragCount uint16
+	// Missing lists the fragment indexes a FRAGREQ asks for.
+	Missing []uint16
+}
+
+// Size returns the frame's on-air size in bytes.
+func (p Packet) Size() int {
+	switch p.Type {
+	case TypeHello:
+		return HeaderBytes + RouteAdBytes*len(p.Routes)
+	case TypeAck:
+		return HeaderBytes + AckBodyBytes
+	case TypeFrag:
+		return HeaderBytes + FragHeaderBytes + len(p.Payload)
+	case TypeFragReq:
+		return HeaderBytes + 2 + 2*len(p.Missing)
+	case TypeFragAck:
+		return HeaderBytes + 2
+	default:
+		return HeaderBytes + len(p.Payload)
+	}
+}
+
+// Validate reports structural problems with the packet.
+func (p Packet) Validate() error {
+	switch {
+	case !p.Type.Valid():
+		return fmt.Errorf("mesh: invalid packet type %d", uint8(p.Type))
+	case len(p.Payload) > MaxPayload:
+		return fmt.Errorf("mesh: payload %d exceeds max %d", len(p.Payload), MaxPayload)
+	case p.TTL > MaxTTL:
+		return fmt.Errorf("mesh: ttl %d exceeds max %d", p.TTL, MaxTTL)
+	}
+	return nil
+}
+
+func (p Packet) String() string {
+	return fmt.Sprintf("%s %v->%v via %v seq=%d ttl=%d (%dB)",
+		p.Type, p.Src, p.Dst, p.Via, p.Seq, p.TTL, p.Size())
+}

@@ -1,0 +1,80 @@
+package mesh
+
+import (
+	"lorameshmon/internal/radio"
+)
+
+// Node roles, advertised in HELLOs exactly as LoRaMesher's NetworkNode
+// role byte: a node flagged as gateway bridges the mesh to the outside
+// world, and other nodes can address "the nearest gateway" without
+// knowing concrete addresses.
+
+// Role bits.
+const (
+	// RoleNode is a plain mesh participant.
+	RoleNode uint8 = 0
+	// RoleGateway marks a mesh-to-Internet bridge.
+	RoleGateway uint8 = 1 << 0
+)
+
+// Role returns this node's configured role.
+func (r *Router) Role() uint8 { return r.cfg.Role }
+
+// RoleOf returns the last role advertised by id (RoleNode when unknown).
+func (r *Router) RoleOf(id radio.ID) uint8 { return r.roles[id] }
+
+// NearestGateway returns the reachable gateway with the lowest hop
+// metric. When this node is itself a gateway it returns its own address.
+func (r *Router) NearestGateway() (radio.ID, bool) {
+	if r.cfg.Role&RoleGateway != 0 {
+		return r.rad.ID(), true
+	}
+	best := radio.ID(0)
+	bestMetric := uint8(MetricInf)
+	found := false
+	for _, route := range r.table.Snapshot() {
+		if r.roles[route.Dst]&RoleGateway == 0 {
+			continue
+		}
+		if route.Metric < bestMetric {
+			best, bestMetric, found = route.Dst, route.Metric, true
+		}
+	}
+	return best, found
+}
+
+// SendToGateway routes a payload to the nearest gateway.
+func (r *Router) SendToGateway(payload []byte, reliable bool) (uint16, error) {
+	gw, ok := r.NearestGateway()
+	if !ok {
+		return 0, ErrNoRoute
+	}
+	return r.Send(gw, payload, reliable)
+}
+
+// buildAds assembles HELLO advertisements from the routing table plus
+// the roles learned for each destination.
+func (r *Router) buildAds() []RouteAd {
+	routes := r.table.Snapshot()
+	ads := make([]RouteAd, len(routes))
+	for i, route := range routes {
+		ads[i] = RouteAd{
+			Addr:   route.Dst,
+			Metric: route.Metric,
+			Role:   r.roles[route.Dst],
+			Via:    route.NextHop,
+		}
+	}
+	return ads
+}
+
+// learnRoles records role information from a received HELLO.
+func (r *Router) learnRoles(pkt Packet) {
+	r.roles[pkt.Src] = pkt.SrcRole
+	for _, ad := range pkt.Routes {
+		if ad.Addr == r.rad.ID() {
+			continue
+		}
+		r.roles[ad.Addr] = ad.Role
+	}
+}

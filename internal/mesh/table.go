@@ -1,0 +1,150 @@
+package mesh
+
+import (
+	"sort"
+	"time"
+
+	"lorameshmon/internal/radio"
+	"lorameshmon/internal/simkit"
+)
+
+// Route is one routing-table entry as exposed to callers and telemetry.
+type Route struct {
+	Dst      radio.ID
+	NextHop  radio.ID
+	Metric   uint8
+	LastSeen simkit.Time
+	// SNRdB is the SNR of the last HELLO that refreshed this entry, a
+	// proxy for the quality of the first hop.
+	SNRdB float64
+}
+
+// Table is a distance-vector routing table with hop-count metrics, as
+// LoRaMesher maintains: routes are learned exclusively from neighbours'
+// periodic HELLO broadcasts and expire when not refreshed.
+type Table struct {
+	self   radio.ID
+	routes map[radio.ID]Route
+	// snrTiebreakDB, when positive, lets an equal-metric route through a
+	// different neighbour win if its first-hop SNR is better by at least
+	// this many dB (LoRaMesher's SNR-aware routing refinement).
+	snrTiebreakDB float64
+}
+
+// NewTable returns an empty table owned by self. Routes to self are
+// never stored.
+func NewTable(self radio.ID) *Table {
+	return &Table{self: self, routes: make(map[radio.ID]Route)}
+}
+
+// SetSNRTiebreak enables SNR-aware selection between equal-metric
+// routes; db <= 0 disables it.
+func (t *Table) SetSNRTiebreak(db float64) { t.snrTiebreakDB = db }
+
+// Update offers a candidate route and reports whether the table changed.
+// The distance-vector rules are LoRaMesher's:
+//
+//   - a route through the same next hop always refreshes the entry (the
+//     neighbour is the authority for paths through itself, even if the
+//     metric worsened);
+//   - otherwise the candidate is adopted only if strictly better;
+//   - metrics at or beyond MetricInf mean unreachable and evict the
+//     entry when learned from its current next hop.
+func (t *Table) Update(dst, nextHop radio.ID, metric uint8, snr float64, now simkit.Time) bool {
+	if dst == t.self {
+		return false
+	}
+	if metric == 0 {
+		// A zero-hop route to another node is nonsensical; reject it
+		// rather than poison the table.
+		return false
+	}
+	cur, exists := t.routes[dst]
+	if metric >= MetricInf {
+		if exists && cur.NextHop == nextHop {
+			delete(t.routes, dst)
+			return true
+		}
+		return false
+	}
+	switch {
+	case !exists:
+	case cur.NextHop == nextHop:
+		// Refresh through the same next hop, even if worse.
+	case metric < cur.Metric:
+		// Strictly better path through a different neighbour.
+	case metric == cur.Metric && t.snrTiebreakDB > 0 &&
+		snr >= cur.SNRdB+t.snrTiebreakDB:
+		// Equal hops but a clearly better first hop.
+	default:
+		return false
+	}
+	changed := !exists || cur.NextHop != nextHop || cur.Metric != metric
+	t.routes[dst] = Route{
+		Dst: dst, NextHop: nextHop, Metric: metric, LastSeen: now, SNRdB: snr,
+	}
+	return changed
+}
+
+// Lookup returns the route to dst.
+func (t *Table) Lookup(dst radio.ID) (Route, bool) {
+	r, ok := t.routes[dst]
+	return r, ok
+}
+
+// Expire removes entries not refreshed within timeout and returns how
+// many were evicted.
+func (t *Table) Expire(now simkit.Time, timeout time.Duration) int {
+	evicted := 0
+	for dst, r := range t.routes {
+		if now.Sub(r.LastSeen) > timeout {
+			delete(t.routes, dst)
+			evicted++
+		}
+	}
+	return evicted
+}
+
+// Remove deletes the route to dst, reporting whether it existed.
+func (t *Table) Remove(dst radio.ID) bool {
+	if _, ok := t.routes[dst]; !ok {
+		return false
+	}
+	delete(t.routes, dst)
+	return true
+}
+
+// Len returns the number of known destinations.
+func (t *Table) Len() int { return len(t.routes) }
+
+// Snapshot returns all routes ordered by destination address, suitable
+// for HELLO advertisement and telemetry.
+func (t *Table) Snapshot() []Route {
+	out := make([]Route, 0, len(t.routes))
+	for _, r := range t.routes {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dst < out[j].Dst })
+	return out
+}
+
+// Ads converts the table into HELLO advertisements.
+func (t *Table) Ads() []RouteAd {
+	routes := t.Snapshot()
+	ads := make([]RouteAd, len(routes))
+	for i, r := range routes {
+		ads[i] = RouteAd{Addr: r.Dst, Metric: r.Metric, Via: r.NextHop}
+	}
+	return ads
+}
+
+// Neighbors returns the destinations reachable in one hop.
+func (t *Table) Neighbors() []radio.ID {
+	var out []radio.ID
+	for _, r := range t.Snapshot() {
+		if r.Metric == 1 {
+			out = append(out, r.Dst)
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"lorameshmon/internal/radio"
+	"lorameshmon/internal/simkit"
+)
+
+func TestTableBasicUpdateLookup(t *testing.T) {
+	tb := NewTable(1)
+	if !tb.Update(2, 2, 1, -5, 0) {
+		t.Fatal("fresh route not reported as change")
+	}
+	r, ok := tb.Lookup(2)
+	if !ok || r.NextHop != 2 || r.Metric != 1 {
+		t.Fatalf("route = %+v, ok=%v", r, ok)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tb.Len())
+	}
+}
+
+func TestTableIgnoresSelf(t *testing.T) {
+	tb := NewTable(1)
+	if tb.Update(1, 2, 3, 0, 0) {
+		t.Fatal("route to self accepted")
+	}
+	if tb.Len() != 0 {
+		t.Fatal("self route stored")
+	}
+}
+
+func TestTableAdoptsStrictlyBetterOnly(t *testing.T) {
+	tb := NewTable(1)
+	tb.Update(5, 2, 3, 0, 0)
+	if tb.Update(5, 3, 3, 0, 0) {
+		t.Fatal("equal-metric route through different hop adopted")
+	}
+	if !tb.Update(5, 3, 2, 0, 0) {
+		t.Fatal("strictly better route rejected")
+	}
+	r, _ := tb.Lookup(5)
+	if r.NextHop != 3 || r.Metric != 2 {
+		t.Fatalf("route = %+v", r)
+	}
+	if tb.Update(5, 4, 5, 0, 0) {
+		t.Fatal("worse route through different hop adopted")
+	}
+}
+
+func TestTableSameNextHopAlwaysRefreshes(t *testing.T) {
+	tb := NewTable(1)
+	tb.Update(5, 2, 2, 0, 0)
+	// Same next hop, worse metric: must refresh (neighbour is authority).
+	if !tb.Update(5, 2, 4, 0, simkit.Time(time.Second)) {
+		t.Fatal("same-hop worse metric did not update")
+	}
+	r, _ := tb.Lookup(5)
+	if r.Metric != 4 || r.LastSeen != simkit.Time(time.Second) {
+		t.Fatalf("route = %+v", r)
+	}
+	// Same everything: refreshes LastSeen but reports no change.
+	if tb.Update(5, 2, 4, 0, simkit.Time(2*time.Second)) {
+		t.Fatal("pure refresh reported as change")
+	}
+	r, _ = tb.Lookup(5)
+	if r.LastSeen != simkit.Time(2*time.Second) {
+		t.Fatal("refresh did not update LastSeen")
+	}
+}
+
+func TestTableInfinityEvictsViaCurrentHop(t *testing.T) {
+	tb := NewTable(1)
+	tb.Update(5, 2, 2, 0, 0)
+	// Unreachable learned from a different neighbour: ignore.
+	if tb.Update(5, 3, MetricInf, 0, 0) {
+		t.Fatal("infinity from unrelated hop changed the table")
+	}
+	if _, ok := tb.Lookup(5); !ok {
+		t.Fatal("route evicted by unrelated infinity")
+	}
+	// Unreachable learned from the current next hop: evict.
+	if !tb.Update(5, 2, MetricInf, 0, 0) {
+		t.Fatal("infinity from current hop not treated as change")
+	}
+	if _, ok := tb.Lookup(5); ok {
+		t.Fatal("route survived infinity from its next hop")
+	}
+}
+
+func TestTableExpire(t *testing.T) {
+	tb := NewTable(1)
+	tb.Update(2, 2, 1, 0, 0)
+	tb.Update(3, 2, 2, 0, simkit.Time(50*time.Second))
+	if n := tb.Expire(simkit.Time(60*time.Second), 30*time.Second); n != 1 {
+		t.Fatalf("evicted = %d, want 1", n)
+	}
+	if _, ok := tb.Lookup(2); ok {
+		t.Fatal("stale route survived")
+	}
+	if _, ok := tb.Lookup(3); !ok {
+		t.Fatal("fresh route evicted")
+	}
+}
+
+func TestTableSnapshotSortedAndAds(t *testing.T) {
+	tb := NewTable(1)
+	tb.Update(9, 2, 3, 0, 0)
+	tb.Update(2, 2, 1, 0, 0)
+	tb.Update(5, 5, 1, 0, 0)
+	snap := tb.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Dst < snap[i-1].Dst {
+			t.Fatalf("snapshot unsorted: %+v", snap)
+		}
+	}
+	ads := tb.Ads()
+	if len(ads) != 3 || ads[0].Addr != 2 || ads[2].Addr != 9 {
+		t.Fatalf("ads = %+v", ads)
+	}
+	nb := tb.Neighbors()
+	if len(nb) != 2 || nb[0] != 2 || nb[1] != 5 {
+		t.Fatalf("neighbors = %v", nb)
+	}
+}
+
+func TestTableRemove(t *testing.T) {
+	tb := NewTable(1)
+	tb.Update(2, 2, 1, 0, 0)
+	if !tb.Remove(2) {
+		t.Fatal("remove existing returned false")
+	}
+	if tb.Remove(2) {
+		t.Fatal("remove missing returned true")
+	}
+}
+
+// Property: after any sequence of updates, every stored route has a
+// positive metric below MetricInf and is never a route to self.
+func TestPropertyTableInvariants(t *testing.T) {
+	type op struct {
+		Dst, Hop uint8
+		Metric   uint8
+	}
+	f := func(ops []op) bool {
+		tb := NewTable(1)
+		for i, o := range ops {
+			tb.Update(radio.ID(o.Dst), radio.ID(o.Hop), o.Metric%20, 0, simkit.Time(i))
+		}
+		for _, r := range tb.Snapshot() {
+			if r.Dst == 1 || r.Metric == 0 || r.Metric >= MetricInf {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableSNRTiebreak(t *testing.T) {
+	tb := NewTable(1)
+	tb.SetSNRTiebreak(3)
+	tb.Update(5, 2, 2, -2, 0)
+	// Equal metric, marginally better SNR: not enough.
+	if tb.Update(5, 3, 2, 0, 0) {
+		t.Fatal("tiebreak below threshold adopted")
+	}
+	// Equal metric, clearly better SNR: adopt.
+	if !tb.Update(5, 4, 2, 4, 0) {
+		t.Fatal("clear SNR winner rejected")
+	}
+	r, _ := tb.Lookup(5)
+	if r.NextHop != 4 || r.SNRdB != 4 {
+		t.Fatalf("route = %+v", r)
+	}
+	// Disabled: equal metric never switches.
+	tb2 := NewTable(1)
+	tb2.Update(5, 2, 2, -20, 0)
+	if tb2.Update(5, 3, 2, 30, 0) {
+		t.Fatal("tiebreak applied while disabled")
+	}
+}

@@ -1,0 +1,54 @@
+package phy
+
+import "time"
+
+import "math"
+
+// Airtime returns the time on air of a LoRa frame carrying payloadBytes
+// of MAC payload, following the SX127x datasheet formula
+// (Semtech AN1200.13):
+//
+//	Tsym      = 2^SF / BW
+//	Tpreamble = (Npreamble + 4.25) * Tsym
+//	Npayload  = 8 + max(ceil((8PL - 4SF + 28 + 16CRC - 20IH) /
+//	                         (4(SF - 2DE))) * (CR + 4), 0)
+//	Tpayload  = Npayload * Tsym
+func Airtime(p Params, payloadBytes int) time.Duration {
+	if payloadBytes < 0 {
+		payloadBytes = 0
+	}
+	tsym := float64(int(1)<<uint(p.SF)) / float64(p.BW) // seconds
+
+	preambleSyms := float64(p.PreambleSymbs) + 4.25
+	tPreamble := preambleSyms * tsym
+
+	crc := 0.0
+	if p.CRC {
+		crc = 1
+	}
+	ih := 0.0
+	if !p.ExplicitHeader {
+		ih = 1
+	}
+	de := 0.0
+	if p.LowDataRateOptimize() {
+		de = 1
+	}
+
+	num := 8*float64(payloadBytes) - 4*float64(p.SF) + 28 + 16*crc - 20*ih
+	den := 4 * (float64(p.SF) - 2*de)
+	nPayload := math.Ceil(num/den) * float64(int(p.CR)+4)
+	if nPayload < 0 {
+		nPayload = 0
+	}
+	tPayload := (8 + nPayload) * tsym
+
+	return time.Duration((tPreamble + tPayload) * float64(time.Second))
+}
+
+// BitrateBps returns the equivalent useful bitrate of the settings,
+// SF * BW / 2^SF * 4/(4+CR), in bits per second.
+func BitrateBps(p Params) float64 {
+	return float64(p.SF) * float64(p.BW) / float64(int(1)<<uint(p.SF)) *
+		4 / float64(4+int(p.CR))
+}

@@ -1,0 +1,161 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Reference airtimes cross-checked against the Semtech LoRa calculator /
+// AN1200.13 for 8-symbol preamble, explicit header, CRC on.
+func TestAirtimeReferenceValues(t *testing.T) {
+	cases := []struct {
+		sf      SpreadingFactor
+		bw      Bandwidth
+		cr      CodingRate
+		payload int
+		wantMS  float64
+		tolMS   float64
+	}{
+		// Classic reference points (PHY payload sizes; the usual LoRaWAN
+		// calculator numbers correspond to app payload + 13B MAC header).
+		{SF7, BW125, CR45, 64, 118.016, 0.5},
+		{SF12, BW125, CR45, 64, 2793.472, 2},
+		{SF7, BW125, CR45, 13, 46.336, 0.5},
+		{SF9, BW125, CR45, 20, 185.344, 1},
+		{SF10, BW125, CR45, 10, 288.768, 1},
+	}
+	for _, tc := range cases {
+		p := DefaultParams()
+		p.SF, p.BW, p.CR = tc.sf, tc.bw, tc.cr
+		got := Airtime(p, tc.payload).Seconds() * 1000
+		if math.Abs(got-tc.wantMS) > tc.tolMS {
+			t.Errorf("Airtime(%v,%v,%v, %dB) = %.3fms, want %.3fms",
+				tc.sf, tc.bw, tc.cr, tc.payload, got, tc.wantMS)
+		}
+	}
+}
+
+func TestAirtimeLowDataRateOptimize(t *testing.T) {
+	p := DefaultParams()
+	p.SF = SF12
+	if !p.LowDataRateOptimize() {
+		t.Fatal("SF12/125kHz must enable low-data-rate optimisation")
+	}
+	p.SF = SF7
+	if p.LowDataRateOptimize() {
+		t.Fatal("SF7/125kHz must not enable low-data-rate optimisation")
+	}
+	p.SF = SF11
+	if !p.LowDataRateOptimize() {
+		t.Fatal("SF11/125kHz must enable low-data-rate optimisation")
+	}
+	p.BW = BW500
+	if p.LowDataRateOptimize() {
+		t.Fatal("SF11/500kHz must not enable low-data-rate optimisation")
+	}
+}
+
+func TestAirtimeMonotonicInPayload(t *testing.T) {
+	p := DefaultParams()
+	prev := time.Duration(0)
+	for n := 0; n <= 255; n++ {
+		at := Airtime(p, n)
+		if at < prev {
+			t.Fatalf("airtime decreased at payload %d: %v < %v", n, at, prev)
+		}
+		prev = at
+	}
+}
+
+func TestAirtimeNegativePayloadClamped(t *testing.T) {
+	p := DefaultParams()
+	if Airtime(p, -5) != Airtime(p, 0) {
+		t.Fatal("negative payload not clamped to zero")
+	}
+}
+
+// Property: airtime is monotonically non-decreasing in SF, payload and CR
+// for any valid combination.
+func TestPropertyAirtimeMonotonic(t *testing.T) {
+	f := func(payload uint8, sfRaw, crRaw uint8) bool {
+		sf := SpreadingFactor(7 + int(sfRaw)%5) // SF7..SF11, compare with +1
+		cr := CodingRate(1 + int(crRaw)%3)      // CR45..CR47, compare with +1
+		p := DefaultParams()
+		p.SF, p.CR = sf, cr
+
+		base := Airtime(p, int(payload))
+
+		pSF := p
+		pSF.SF = sf + 1
+		if Airtime(pSF, int(payload)) <= base {
+			return false
+		}
+		pCR := p
+		pCR.CR = cr + 1
+		if Airtime(pCR, int(payload)) < base {
+			return false
+		}
+		return Airtime(p, int(payload)+1) >= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymbolDuration(t *testing.T) {
+	p := DefaultParams() // SF7 BW125: 128/125000 s = 1.024 ms
+	want := 1024 * time.Microsecond
+	if got := p.SymbolDuration(); got != want {
+		t.Fatalf("SymbolDuration = %v, want %v", got, want)
+	}
+}
+
+func TestBitrate(t *testing.T) {
+	p := DefaultParams() // SF7 BW125 CR4/5: 5468.75 bps
+	got := BitrateBps(p)
+	if math.Abs(got-5468.75) > 0.01 {
+		t.Fatalf("BitrateBps = %v, want 5468.75", got)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := DefaultParams()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	cases := []func(*Params){
+		func(p *Params) { p.SF = 6 },
+		func(p *Params) { p.SF = 13 },
+		func(p *Params) { p.BW = 100 },
+		func(p *Params) { p.CR = 0 },
+		func(p *Params) { p.CR = 5 },
+		func(p *Params) { p.PreambleSymbs = 2 },
+		func(p *Params) { p.FrequencyHz = 0 },
+	}
+	for i, mutate := range cases {
+		p := DefaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestOrthogonal(t *testing.T) {
+	a := DefaultParams()
+	b := DefaultParams()
+	if Orthogonal(a, b) {
+		t.Fatal("identical params reported orthogonal")
+	}
+	b.SF = SF9
+	if !Orthogonal(a, b) {
+		t.Fatal("different SFs not orthogonal")
+	}
+	b = DefaultParams()
+	b.FrequencyHz = 868.3e6
+	if !Orthogonal(a, b) {
+		t.Fatal("different frequencies not orthogonal")
+	}
+}

@@ -1,0 +1,112 @@
+package phy
+
+import (
+	"time"
+
+	"lorameshmon/internal/simkit"
+)
+
+// Region captures the regulatory constraints the radio must obey.
+type Region struct {
+	Name string
+	// DutyCycle is the maximum fraction of time a device may transmit in
+	// the band (ETSI EU868 g1 band: 0.01).
+	DutyCycle float64
+	// MaxTxPowerDBm caps the configured transmit power.
+	MaxTxPowerDBm float64
+	// MaxDwell limits a single transmission's airtime; zero means no limit.
+	MaxDwell time.Duration
+}
+
+// EU868 is the European 868 MHz SRD band with a 1% duty cycle.
+func EU868() Region {
+	return Region{Name: "EU868", DutyCycle: 0.01, MaxTxPowerDBm: 14}
+}
+
+// US915 is the North American 915 MHz ISM band: no duty cycle, but a
+// 400 ms per-transmission dwell-time limit (FCC 15.247) that caps frame
+// airtime — and therefore payload size at high spreading factors.
+func US915() Region {
+	return Region{
+		Name:          "US915",
+		DutyCycle:     1,
+		MaxTxPowerDBm: 30,
+		MaxDwell:      400 * time.Millisecond,
+	}
+}
+
+// Unregulated is a region with no duty-cycle constraint, used in
+// ablations to isolate protocol behaviour from regulation.
+func Unregulated() Region {
+	return Region{Name: "unregulated", DutyCycle: 1, MaxTxPowerDBm: 27}
+}
+
+// DutyCycleLimiter enforces a duty cycle the way LoRa firmware stacks do:
+// after a transmission of duration T, the radio is silenced for
+// T*(1/dc - 1), which bounds the long-run transmit fraction at dc.
+type DutyCycleLimiter struct {
+	region Region
+	// nextAllowed is the earliest virtual time the next transmission may
+	// start.
+	nextAllowed simkit.Time
+	// totalAirtime accumulates all transmission time for reporting.
+	totalAirtime time.Duration
+	// blocked counts transmission attempts rejected by the limiter.
+	blocked uint64
+}
+
+// NewDutyCycleLimiter returns a limiter for the region. A nil-safe zero
+// value is not provided because the region is mandatory.
+func NewDutyCycleLimiter(region Region) *DutyCycleLimiter {
+	if region.DutyCycle <= 0 || region.DutyCycle > 1 {
+		region.DutyCycle = 1
+	}
+	return &DutyCycleLimiter{region: region}
+}
+
+// CanTransmit reports whether a transmission may start at now.
+func (l *DutyCycleLimiter) CanTransmit(now simkit.Time) bool {
+	return now >= l.nextAllowed
+}
+
+// WaitTime returns how long from now until transmission is permitted
+// (zero when already permitted).
+func (l *DutyCycleLimiter) WaitTime(now simkit.Time) time.Duration {
+	if now >= l.nextAllowed {
+		return 0
+	}
+	return l.nextAllowed.Sub(now)
+}
+
+// RecordTransmission registers a transmission of the given airtime
+// starting at now and advances the silence window.
+func (l *DutyCycleLimiter) RecordTransmission(now simkit.Time, airtime time.Duration) {
+	l.totalAirtime += airtime
+	if l.region.DutyCycle >= 1 {
+		l.nextAllowed = now.Add(airtime)
+		return
+	}
+	silence := time.Duration(float64(airtime) * (1/l.region.DutyCycle - 1))
+	l.nextAllowed = now.Add(airtime + silence)
+}
+
+// RecordBlocked counts a transmission attempt that the limiter rejected.
+func (l *DutyCycleLimiter) RecordBlocked() { l.blocked++ }
+
+// TotalAirtime returns the cumulative transmission time.
+func (l *DutyCycleLimiter) TotalAirtime() time.Duration { return l.totalAirtime }
+
+// Blocked returns how many attempts were rejected.
+func (l *DutyCycleLimiter) Blocked() uint64 { return l.blocked }
+
+// Utilization returns the fraction of elapsed time spent transmitting.
+// It returns 0 before any time has elapsed.
+func (l *DutyCycleLimiter) Utilization(now simkit.Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(l.totalAirtime) / float64(time.Duration(now))
+}
+
+// Region returns the limiter's regulatory region.
+func (l *DutyCycleLimiter) Region() Region { return l.region }

@@ -1,0 +1,92 @@
+package phy
+
+import (
+	"testing"
+	"time"
+
+	"lorameshmon/internal/simkit"
+)
+
+func TestDutyCycleSilenceWindow(t *testing.T) {
+	l := NewDutyCycleLimiter(EU868())
+	now := simkit.Time(0)
+	if !l.CanTransmit(now) {
+		t.Fatal("fresh limiter must allow transmission")
+	}
+	airtime := 100 * time.Millisecond
+	l.RecordTransmission(now, airtime)
+	// 1% duty cycle: 100ms airtime ⇒ 9.9s silence after the frame ends.
+	wantNext := simkit.Time(100*time.Millisecond + 9900*time.Millisecond)
+	if l.CanTransmit(wantNext - 1) {
+		t.Fatal("transmission allowed during silence window")
+	}
+	if !l.CanTransmit(wantNext) {
+		t.Fatal("transmission blocked after silence window")
+	}
+	if got := l.WaitTime(simkit.Time(time.Second)); got != 9*time.Second {
+		t.Fatalf("WaitTime at t=1s = %v, want 9s", got)
+	}
+	if l.WaitTime(wantNext) != 0 {
+		t.Fatal("WaitTime nonzero when allowed")
+	}
+}
+
+func TestDutyCycleLongRunBound(t *testing.T) {
+	l := NewDutyCycleLimiter(EU868())
+	now := simkit.Time(0)
+	airtime := 57 * time.Millisecond
+	// Transmit as aggressively as the limiter allows for a simulated hour.
+	for now < simkit.Time(time.Hour) {
+		if l.CanTransmit(now) {
+			l.RecordTransmission(now, airtime)
+		}
+		now = now.Add(l.WaitTime(now))
+		if l.WaitTime(now) == 0 && !l.CanTransmit(now) {
+			t.Fatal("inconsistent limiter state")
+		}
+		if now == 0 { // first frame: advance past it
+			now = now.Add(airtime)
+		}
+	}
+	util := l.Utilization(now)
+	if util > 0.0101 {
+		t.Fatalf("long-run utilisation %v exceeds 1%% duty cycle", util)
+	}
+	if util < 0.009 {
+		t.Fatalf("long-run utilisation %v far below achievable 1%%", util)
+	}
+}
+
+func TestUnregulatedOnlyBlocksDuringFrame(t *testing.T) {
+	l := NewDutyCycleLimiter(Unregulated())
+	l.RecordTransmission(0, time.Second)
+	if l.CanTransmit(simkit.Time(500 * time.Millisecond)) {
+		t.Fatal("transmission allowed while radio is busy sending")
+	}
+	if !l.CanTransmit(simkit.Time(time.Second)) {
+		t.Fatal("unregulated limiter imposed silence after frame end")
+	}
+}
+
+func TestLimiterCounters(t *testing.T) {
+	l := NewDutyCycleLimiter(EU868())
+	l.RecordTransmission(0, 30*time.Millisecond)
+	l.RecordTransmission(simkit.Time(time.Minute), 70*time.Millisecond)
+	l.RecordBlocked()
+	if got := l.TotalAirtime(); got != 100*time.Millisecond {
+		t.Fatalf("TotalAirtime = %v, want 100ms", got)
+	}
+	if l.Blocked() != 1 {
+		t.Fatalf("Blocked = %d, want 1", l.Blocked())
+	}
+	if l.Utilization(0) != 0 {
+		t.Fatal("Utilization at t=0 must be 0")
+	}
+}
+
+func TestInvalidDutyCycleFallsBackToUnity(t *testing.T) {
+	l := NewDutyCycleLimiter(Region{Name: "bogus", DutyCycle: -3})
+	if l.Region().DutyCycle != 1 {
+		t.Fatalf("invalid duty cycle not normalised: %v", l.Region().DutyCycle)
+	}
+}

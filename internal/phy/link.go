@@ -1,0 +1,151 @@
+package phy
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Point is a node position in metres on a flat plane. The monitoring
+// paper's deployments are campus-scale, where a 2-D plane is an adequate
+// geometry.
+type Point struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance between two points in metres.
+func (p Point) Distance(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// ChannelModel computes path loss and link quality between positions.
+// The zero value is not usable; construct with NewChannelModel or use
+// DefaultChannel.
+type ChannelModel struct {
+	// PathLossExponent is the log-distance exponent n. Free space is 2;
+	// suburban/campus deployments measure 2.7-3.5.
+	PathLossExponent float64
+	// ReferenceLossDB is the path loss at ReferenceDistanceM. For 868 MHz
+	// at 1 m free space this is ~31.2 dB.
+	ReferenceLossDB    float64
+	ReferenceDistanceM float64
+	// ShadowingSigmaDB is the standard deviation of log-normal shadowing.
+	// Zero disables shadowing (deterministic links).
+	ShadowingSigmaDB float64
+	// NoiseFigureDB is the receiver noise figure (SX127x ≈ 6 dB).
+	NoiseFigureDB float64
+	// AntennaGainDBi is the combined tx+rx antenna gain.
+	AntennaGainDBi float64
+}
+
+// DefaultChannel returns a campus/suburban 868 MHz channel: exponent 3.0,
+// 8 dB shadowing, 6 dB noise figure, unity-gain antennas.
+func DefaultChannel() ChannelModel {
+	return ChannelModel{
+		PathLossExponent:   3.0,
+		ReferenceLossDB:    31.2,
+		ReferenceDistanceM: 1,
+		ShadowingSigmaDB:   8,
+		NoiseFigureDB:      6,
+		AntennaGainDBi:     0,
+	}
+}
+
+// FreeSpaceChannel returns an ideal free-space channel (exponent 2, no
+// shadowing), useful for deterministic tests.
+func FreeSpaceChannel() ChannelModel {
+	c := DefaultChannel()
+	c.PathLossExponent = 2
+	c.ShadowingSigmaDB = 0
+	return c
+}
+
+// PathLossDB returns the mean path loss over distanceM metres.
+func (c ChannelModel) PathLossDB(distanceM float64) float64 {
+	if distanceM < c.ReferenceDistanceM {
+		distanceM = c.ReferenceDistanceM
+	}
+	return c.ReferenceLossDB +
+		10*c.PathLossExponent*math.Log10(distanceM/c.ReferenceDistanceM)
+}
+
+// NoiseFloorDBm returns the receiver noise floor for bandwidth bw:
+// -174 dBm/Hz + 10 log10(BW) + NF.
+func (c ChannelModel) NoiseFloorDBm(bw Bandwidth) float64 {
+	return -174 + 10*math.Log10(float64(bw)) + c.NoiseFigureDB
+}
+
+// snrFloorDB is the minimum demodulation SNR per spreading factor
+// (SX127x datasheet, table 13).
+var snrFloorDB = map[SpreadingFactor]float64{
+	SF7:  -7.5,
+	SF8:  -10,
+	SF9:  -12.5,
+	SF10: -15,
+	SF11: -17.5,
+	SF12: -20,
+}
+
+// SNRFloorDB returns the demodulation SNR floor for sf.
+func SNRFloorDB(sf SpreadingFactor) float64 { return snrFloorDB[sf] }
+
+// SensitivityDBm returns the receiver sensitivity for the given settings:
+// noise floor plus the SF demodulation floor.
+func (c ChannelModel) SensitivityDBm(p Params) float64 {
+	return c.NoiseFloorDBm(p.BW) + SNRFloorDB(p.SF)
+}
+
+// Link describes the instantaneous quality of one reception.
+type Link struct {
+	RSSIdBm float64
+	SNRdB   float64
+	// MarginDB is SNR above the demodulation floor; negative means the
+	// frame is below sensitivity.
+	MarginDB float64
+}
+
+// Evaluate computes the link a receiver at distance distanceM observes
+// for a transmission with params p. When rng is non-nil and shadowing is
+// configured, a log-normal shadowing term is drawn; pass nil for the mean
+// (deterministic) link.
+func (c ChannelModel) Evaluate(p Params, distanceM float64, rng *rand.Rand) Link {
+	pl := c.PathLossDB(distanceM)
+	if rng != nil && c.ShadowingSigmaDB > 0 {
+		pl += rng.NormFloat64() * c.ShadowingSigmaDB
+	}
+	rssi := p.TxPowerDBm + c.AntennaGainDBi - pl
+	snr := rssi - c.NoiseFloorDBm(p.BW)
+	return Link{RSSIdBm: rssi, SNRdB: snr, MarginDB: snr - SNRFloorDB(p.SF)}
+}
+
+// DeliveryProbability maps an SNR margin to a frame success probability.
+// LoRa frames transition from ~0% to ~100% success over a narrow (~3 dB)
+// SNR band around the floor; we model that waterfall with a logistic
+// curve with a 1 dB slope constant.
+func DeliveryProbability(marginDB float64) float64 {
+	return 1 / (1 + math.Exp(-marginDB/1.0))
+}
+
+// MaxRangeM returns the distance at which the mean link sits exactly at
+// the demodulation floor — the nominal communication range for the
+// settings. It inverts the log-distance model analytically.
+func (c ChannelModel) MaxRangeM(p Params) float64 {
+	budget := p.TxPowerDBm + c.AntennaGainDBi - c.SensitivityDBm(p)
+	exp := (budget - c.ReferenceLossDB) / (10 * c.PathLossExponent)
+	return c.ReferenceDistanceM * math.Pow(10, exp)
+}
+
+// MinSpreadingFactor returns the smallest (fastest) spreading factor
+// whose mean link at distanceM keeps at least marginDB above the
+// demodulation floor — the data-rate adaptation rule of LoRaWAN ADR.
+// The second result is false when even SF12 cannot close the link; SF12
+// is still returned as the best effort.
+func (c ChannelModel) MinSpreadingFactor(p Params, distanceM, marginDB float64) (SpreadingFactor, bool) {
+	for sf := SF7; sf <= SF12; sf++ {
+		trial := p
+		trial.SF = sf
+		if c.Evaluate(trial, distanceM, nil).MarginDB >= marginDB {
+			return sf, true
+		}
+	}
+	return SF12, false
+}

@@ -1,0 +1,207 @@
+package phy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPathLossIncreasesWithDistance(t *testing.T) {
+	c := DefaultChannel()
+	prev := -math.MaxFloat64
+	for _, d := range []float64{1, 10, 100, 1000, 10000} {
+		pl := c.PathLossDB(d)
+		if pl <= prev {
+			t.Fatalf("path loss not increasing at %vm: %v <= %v", d, pl, prev)
+		}
+		prev = pl
+	}
+}
+
+func TestPathLossClampedBelowReference(t *testing.T) {
+	c := DefaultChannel()
+	if c.PathLossDB(0.01) != c.PathLossDB(c.ReferenceDistanceM) {
+		t.Fatal("sub-reference distance not clamped")
+	}
+}
+
+func TestFreeSpacePathLossSlope(t *testing.T) {
+	c := FreeSpaceChannel()
+	// Free space: +20 dB per decade.
+	got := c.PathLossDB(1000) - c.PathLossDB(100)
+	if math.Abs(got-20) > 1e-9 {
+		t.Fatalf("free-space decade slope = %v dB, want 20", got)
+	}
+}
+
+func TestNoiseFloor(t *testing.T) {
+	c := DefaultChannel()
+	// -174 + 10log10(125000) + 6 = -117.03 dBm
+	got := c.NoiseFloorDBm(BW125)
+	if math.Abs(got-(-117.03)) > 0.01 {
+		t.Fatalf("noise floor = %v, want -117.03", got)
+	}
+}
+
+func TestSensitivityMatchesDatasheetOrder(t *testing.T) {
+	c := DefaultChannel()
+	p := DefaultParams()
+	prev := 0.0
+	for sf := SF7; sf <= SF12; sf++ {
+		p.SF = sf
+		s := c.SensitivityDBm(p)
+		if sf > SF7 && s >= prev {
+			t.Fatalf("sensitivity must improve (decrease) with SF: %v at %v", s, sf)
+		}
+		prev = s
+	}
+	// SF7/125k with NF 6: -117.03 - 7.5 = -124.53 dBm (datasheet ~ -123).
+	p.SF = SF7
+	if got := c.SensitivityDBm(p); math.Abs(got-(-124.53)) > 0.1 {
+		t.Fatalf("SF7 sensitivity = %v, want about -124.5", got)
+	}
+}
+
+func TestEvaluateDeterministicWithoutRNG(t *testing.T) {
+	c := DefaultChannel()
+	p := DefaultParams()
+	a := c.Evaluate(p, 500, nil)
+	b := c.Evaluate(p, 500, nil)
+	if a != b {
+		t.Fatal("nil-rng evaluation is not deterministic")
+	}
+	if a.SNRdB != a.RSSIdBm-c.NoiseFloorDBm(p.BW) {
+		t.Fatal("SNR inconsistent with RSSI and noise floor")
+	}
+	if a.MarginDB != a.SNRdB-SNRFloorDB(p.SF) {
+		t.Fatal("margin inconsistent with SNR floor")
+	}
+}
+
+func TestEvaluateShadowingSpread(t *testing.T) {
+	c := DefaultChannel()
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(1))
+	var vals []float64
+	for i := 0; i < 2000; i++ {
+		vals = append(vals, c.Evaluate(p, 500, rng).RSSIdBm)
+	}
+	mean, sd := meanStd(vals)
+	want := c.Evaluate(p, 500, nil).RSSIdBm
+	if math.Abs(mean-want) > 0.6 {
+		t.Fatalf("shadowed mean RSSI %v far from deterministic %v", mean, want)
+	}
+	if math.Abs(sd-c.ShadowingSigmaDB) > 0.6 {
+		t.Fatalf("shadowing sd = %v, want about %v", sd, c.ShadowingSigmaDB)
+	}
+}
+
+func meanStd(xs []float64) (mean, sd float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		sd += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(sd / float64(len(xs)))
+}
+
+func TestDeliveryProbabilityWaterfall(t *testing.T) {
+	if p := DeliveryProbability(0); math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("P(margin=0) = %v, want 0.5", p)
+	}
+	if p := DeliveryProbability(10); p < 0.999 {
+		t.Fatalf("P(margin=10dB) = %v, want ~1", p)
+	}
+	if p := DeliveryProbability(-10); p > 0.001 {
+		t.Fatalf("P(margin=-10dB) = %v, want ~0", p)
+	}
+}
+
+// Property: delivery probability is monotonically increasing in margin.
+func TestPropertyDeliveryMonotonic(t *testing.T) {
+	f := func(a, b int8) bool {
+		x, y := float64(a)/4, float64(b)/4
+		if x > y {
+			x, y = y, x
+		}
+		return DeliveryProbability(x) <= DeliveryProbability(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxRangeInvertsPathLoss(t *testing.T) {
+	c := DefaultChannel()
+	p := DefaultParams()
+	for _, sf := range []SpreadingFactor{SF7, SF10, SF12} {
+		p.SF = sf
+		r := c.MaxRangeM(p)
+		// At the computed range the mean link must sit at the floor.
+		link := c.Evaluate(p, r, nil)
+		if math.Abs(link.MarginDB) > 0.01 {
+			t.Fatalf("%v: margin at MaxRange = %v dB, want 0", sf, link.MarginDB)
+		}
+	}
+}
+
+func TestMaxRangeGrowsWithSF(t *testing.T) {
+	c := DefaultChannel()
+	p := DefaultParams()
+	p.SF = SF7
+	r7 := c.MaxRangeM(p)
+	p.SF = SF12
+	r12 := c.MaxRangeM(p)
+	if r12 <= r7 {
+		t.Fatalf("SF12 range %v not beyond SF7 range %v", r12, r7)
+	}
+	// Roughly 12.5 dB extra budget over exponent 3 → about 2.6x range.
+	if ratio := r12 / r7; ratio < 2 || ratio > 4 {
+		t.Fatalf("SF12/SF7 range ratio = %v, want within [2,4]", ratio)
+	}
+}
+
+func TestPointDistance(t *testing.T) {
+	if d := (Point{0, 0}).Distance(Point{3, 4}); d != 5 {
+		t.Fatalf("distance = %v, want 5", d)
+	}
+}
+
+func TestMinSpreadingFactor(t *testing.T) {
+	c := DefaultChannel()
+	c.ShadowingSigmaDB = 0
+	p := DefaultParams()
+	// Close by: SF7 suffices.
+	sf, ok := c.MinSpreadingFactor(p, 100, 3)
+	if !ok || sf != SF7 {
+		t.Fatalf("near = %v/%v, want SF7", sf, ok)
+	}
+	// At 1.5x the SF7 range, a higher SF must be chosen and close.
+	r7 := c.MaxRangeM(p)
+	sf, ok = c.MinSpreadingFactor(p, 1.5*r7, 0)
+	if !ok || sf <= SF7 {
+		t.Fatalf("mid = %v/%v, want > SF7 and closing", sf, ok)
+	}
+	trial := p
+	trial.SF = sf
+	if c.Evaluate(trial, 1.5*r7, nil).MarginDB < 0 {
+		t.Fatal("chosen SF does not close the link")
+	}
+	// Far beyond SF12 range: best effort, not ok.
+	sf, ok = c.MinSpreadingFactor(p, 100*r7, 0)
+	if ok || sf != SF12 {
+		t.Fatalf("far = %v/%v, want SF12/false", sf, ok)
+	}
+	// SF monotone in distance.
+	prev := SF7
+	for _, d := range []float64{100, r7, 1.3 * r7, 1.8 * r7, 2.5 * r7} {
+		got, _ := c.MinSpreadingFactor(p, d, 0)
+		if got < prev {
+			t.Fatalf("ADR SF not monotone in distance: %v then %v", prev, got)
+		}
+		prev = got
+	}
+}

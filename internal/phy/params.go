@@ -1,0 +1,136 @@
+// Package phy models the LoRa physical layer: radio parameters, time on
+// air, link budget (path loss, RSSI, SNR), per-SF demodulation floors,
+// and regional duty-cycle regulation.
+//
+// The model reproduces the first-order behaviour of an SX127x-class
+// transceiver at 868 MHz: the Semtech time-on-air formula, log-distance
+// path loss with log-normal shadowing, thermal-noise-derived sensitivity,
+// and the ETSI EU868 1% duty-cycle constraint. These are the physical
+// effects a mesh monitoring system observes (RSSI/SNR per packet, airtime
+// per node, loss under load), so reproducing them faithfully is what makes
+// the simulated telemetry realistic.
+package phy
+
+import (
+	"fmt"
+	"time"
+)
+
+// SpreadingFactor is the LoRa spreading factor (chips per symbol = 2^SF).
+type SpreadingFactor int
+
+// Valid LoRa spreading factors.
+const (
+	SF7  SpreadingFactor = 7
+	SF8  SpreadingFactor = 8
+	SF9  SpreadingFactor = 9
+	SF10 SpreadingFactor = 10
+	SF11 SpreadingFactor = 11
+	SF12 SpreadingFactor = 12
+)
+
+// Valid reports whether sf is a legal LoRa spreading factor.
+func (sf SpreadingFactor) Valid() bool { return sf >= SF7 && sf <= SF12 }
+
+func (sf SpreadingFactor) String() string { return fmt.Sprintf("SF%d", int(sf)) }
+
+// Bandwidth is the LoRa channel bandwidth in Hz.
+type Bandwidth int
+
+// Standard LoRa bandwidths.
+const (
+	BW125 Bandwidth = 125_000
+	BW250 Bandwidth = 250_000
+	BW500 Bandwidth = 500_000
+)
+
+// Valid reports whether bw is one of the standard LoRa bandwidths.
+func (bw Bandwidth) Valid() bool { return bw == BW125 || bw == BW250 || bw == BW500 }
+
+func (bw Bandwidth) String() string { return fmt.Sprintf("%dkHz", int(bw)/1000) }
+
+// CodingRate is the LoRa forward-error-correction rate 4/(4+CR).
+type CodingRate int
+
+// Standard LoRa coding rates.
+const (
+	CR45 CodingRate = 1 // 4/5
+	CR46 CodingRate = 2 // 4/6
+	CR47 CodingRate = 3 // 4/7
+	CR48 CodingRate = 4 // 4/8
+)
+
+// Valid reports whether cr is a legal coding rate.
+func (cr CodingRate) Valid() bool { return cr >= CR45 && cr <= CR48 }
+
+func (cr CodingRate) String() string { return fmt.Sprintf("4/%d", 4+int(cr)) }
+
+// Params bundles the transmission parameters of a LoRa frame.
+type Params struct {
+	SF             SpreadingFactor
+	BW             Bandwidth
+	CR             CodingRate
+	PreambleSymbs  int     // preamble length in symbols (typically 8)
+	ExplicitHeader bool    // physical header present (true for mesh frames)
+	CRC            bool    // payload CRC enabled
+	FrequencyHz    float64 // carrier frequency
+	TxPowerDBm     float64 // transmit power at the antenna port
+}
+
+// DefaultParams are the settings the LoRaMesher firmware ships with:
+// SF7/125kHz/4:5 on EU868 at 14 dBm with explicit header and CRC.
+func DefaultParams() Params {
+	return Params{
+		SF:             SF7,
+		BW:             BW125,
+		CR:             CR45,
+		PreambleSymbs:  8,
+		ExplicitHeader: true,
+		CRC:            true,
+		FrequencyHz:    868.1e6,
+		TxPowerDBm:     14,
+	}
+}
+
+// Validate reports the first invalid field, or nil.
+func (p Params) Validate() error {
+	switch {
+	case !p.SF.Valid():
+		return fmt.Errorf("phy: invalid spreading factor %d", int(p.SF))
+	case !p.BW.Valid():
+		return fmt.Errorf("phy: invalid bandwidth %d Hz", int(p.BW))
+	case !p.CR.Valid():
+		return fmt.Errorf("phy: invalid coding rate %d", int(p.CR))
+	case p.PreambleSymbs < 6:
+		return fmt.Errorf("phy: preamble %d symbols below minimum 6", p.PreambleSymbs)
+	case p.FrequencyHz <= 0:
+		return fmt.Errorf("phy: non-positive frequency %g", p.FrequencyHz)
+	}
+	return nil
+}
+
+// SymbolDuration returns the duration of one LoRa symbol, 2^SF / BW.
+func (p Params) SymbolDuration() time.Duration {
+	secs := float64(int(1)<<uint(p.SF)) / float64(p.BW)
+	return time.Duration(secs * float64(time.Second))
+}
+
+// LowDataRateOptimize reports whether the mandated low-data-rate
+// optimisation applies (symbol time >= 16 ms, i.e. SF11/SF12 at 125 kHz).
+func (p Params) LowDataRateOptimize() bool {
+	return p.SymbolDuration() >= 16*time.Millisecond
+}
+
+// Orthogonal reports whether two parameter sets are mutually invisible on
+// the air: different carrier frequencies or different spreading factors
+// do not interfere (LoRa SFs are quasi-orthogonal).
+func Orthogonal(a, b Params) bool {
+	return a.FrequencyHz != b.FrequencyHz || a.SF != b.SF
+}
+
+// CanDecode reports whether a receiver configured with rx can demodulate
+// a frame transmitted with tx: carrier, spreading factor and bandwidth
+// must all match.
+func CanDecode(rx, tx Params) bool {
+	return rx.FrequencyHz == tx.FrequencyHz && rx.SF == tx.SF && rx.BW == tx.BW
+}

@@ -1,0 +1,499 @@
+// Package radio simulates the shared LoRa broadcast medium: every
+// transmission propagates to every registered radio, and reception is
+// decided per receiver from the link budget, half-duplex state,
+// co-channel interference and the capture effect.
+//
+// Shadowing is drawn once per node pair (slow fading, part of the
+// topology); an optional per-packet fading term models fast channel
+// variation. Everything is driven by a simkit.Sim, so runs are
+// deterministic for a given seed.
+package radio
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"lorameshmon/internal/phy"
+	"lorameshmon/internal/simkit"
+)
+
+// ID is a radio (node) address. LoRaMesher uses 16-bit addresses; we keep
+// the same width.
+type ID uint16
+
+// Broadcast is the all-nodes destination address.
+const Broadcast ID = 0xFFFF
+
+func (id ID) String() string { return fmt.Sprintf("N%04X", uint16(id)) }
+
+// Errors returned by Transmit.
+var (
+	ErrRadioBusy     = errors.New("radio: transmitter busy")
+	ErrDutyCycle     = errors.New("radio: duty cycle exhausted")
+	ErrRadioDown     = errors.New("radio: radio is down")
+	ErrUnregistered  = errors.New("radio: radio not registered on a medium")
+	ErrDwellExceeded = errors.New("radio: frame airtime exceeds the regional dwell limit")
+)
+
+// Frame is what the MAC layer hands to the radio: an opaque payload and
+// the number of bytes it would occupy on the air. Payload is carried
+// by reference (no serialisation inside the simulator); Bytes drives the
+// airtime model.
+type Frame struct {
+	Payload any
+	Bytes   int
+}
+
+// RxInfo describes one successful reception.
+type RxInfo struct {
+	At      simkit.Time // end of reception
+	From    ID
+	RSSIdBm float64
+	SNRdB   float64
+	Airtime time.Duration
+}
+
+// Handler consumes frames delivered to a radio.
+type Handler func(frame Frame, info RxInfo)
+
+// Stats aggregates medium-wide outcomes.
+type Stats struct {
+	TxFrames         uint64
+	TxAirtime        time.Duration
+	Delivered        uint64
+	BelowSensitivity uint64 // receptions lost to insufficient SNR
+	Collided         uint64 // receptions lost to co-channel interference
+	HalfDuplexMiss   uint64 // receptions lost because the receiver was transmitting
+	DutyCycleBlocked uint64
+}
+
+// Config tunes the medium's propagation and interference model.
+type Config struct {
+	Channel phy.ChannelModel
+	// FadingSigmaDB is per-packet fast fading; zero disables it.
+	FadingSigmaDB float64
+	// CaptureDB is the co-channel power advantage needed to capture the
+	// receiver (typically 6 dB for same-SF LoRa).
+	CaptureDB float64
+	// CaptureEnabled selects whether the stronger of two colliding frames
+	// can survive. Disabled, any co-channel overlap destroys the frame.
+	CaptureEnabled bool
+	// DetectionMarginDB sets the carrier-sense threshold relative to the
+	// noise floor for BusyAt.
+	DetectionMarginDB float64
+	// DeterministicDelivery replaces the logistic success waterfall with
+	// a hard threshold (margin > 0 succeeds). Useful for protocol tests
+	// and step-response experiments.
+	DeterministicDelivery bool
+}
+
+// DefaultConfig returns the standard campus channel with 6 dB capture.
+func DefaultConfig() Config {
+	return Config{
+		Channel:           phy.DefaultChannel(),
+		FadingSigmaDB:     0,
+		CaptureDB:         6,
+		CaptureEnabled:    true,
+		DetectionMarginDB: 6,
+	}
+}
+
+// Medium is the shared channel all radios are attached to.
+type Medium struct {
+	sim    *simkit.Sim
+	cfg    Config
+	radios map[ID]*Radio
+	// order lists radios sorted by ID. Delivery events are scheduled in
+	// this order so simulations are deterministic (map iteration order
+	// would otherwise leak into event ordering and RNG consumption).
+	order []*Radio
+	// shadow holds the static per-pair shadowing offset in dB, keyed by
+	// the unordered pair.
+	shadow map[[2]ID]float64
+	active []*transmission
+	stats  Stats
+}
+
+type transmission struct {
+	from        *Radio
+	params      phy.Params
+	frame       Frame
+	start, end  simkit.Time
+	interferers []*transmission
+	done        bool
+}
+
+// NewMedium creates a medium on the given simulator.
+func NewMedium(sim *simkit.Sim, cfg Config) *Medium {
+	return &Medium{
+		sim:    sim,
+		cfg:    cfg,
+		radios: make(map[ID]*Radio),
+		shadow: make(map[[2]ID]float64),
+	}
+}
+
+// Sim returns the simulator driving the medium.
+func (m *Medium) Sim() *simkit.Sim { return m.sim }
+
+// Stats returns a snapshot of medium-wide counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// AttachRadio registers a new radio at pos. IDs must be unique; Broadcast
+// is reserved.
+func (m *Medium) AttachRadio(id ID, pos phy.Point, params phy.Params, region phy.Region) (*Radio, error) {
+	if id == Broadcast {
+		return nil, fmt.Errorf("radio: id %v is reserved for broadcast", id)
+	}
+	if _, dup := m.radios[id]; dup {
+		return nil, fmt.Errorf("radio: duplicate id %v", id)
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Radio{
+		id:      id,
+		pos:     pos,
+		params:  params,
+		medium:  m,
+		limiter: phy.NewDutyCycleLimiter(region),
+	}
+	m.radios[id] = r
+	at := sort.Search(len(m.order), func(i int) bool { return m.order[i].id > id })
+	m.order = append(m.order, nil)
+	copy(m.order[at+1:], m.order[at:])
+	m.order[at] = r
+	return r, nil
+}
+
+// Radio returns the radio with the given id, or nil.
+func (m *Medium) Radio(id ID) *Radio { return m.radios[id] }
+
+// Radios returns all registered radios sorted by ID.
+func (m *Medium) Radios() []*Radio {
+	out := make([]*Radio, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+func pairKey(a, b ID) [2]ID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]ID{a, b}
+}
+
+// shadowOffset returns the static shadowing term for the pair, drawing it
+// on first use.
+func (m *Medium) shadowOffset(a, b ID) float64 {
+	if m.cfg.Channel.ShadowingSigmaDB == 0 {
+		return 0
+	}
+	k := pairKey(a, b)
+	if v, ok := m.shadow[k]; ok {
+		return v
+	}
+	v := m.sim.Rand().NormFloat64() * m.cfg.Channel.ShadowingSigmaDB
+	m.shadow[k] = v
+	return v
+}
+
+// meanRSSI returns the static (no fast fading) received power from tx at
+// rx for the given params.
+func (m *Medium) meanRSSI(tx, rx *Radio, p phy.Params) float64 {
+	d := tx.pos.Distance(rx.pos)
+	pl := m.cfg.Channel.PathLossDB(d) + m.shadowOffset(tx.id, rx.id)
+	return p.TxPowerDBm + m.cfg.Channel.AntennaGainDBi - pl
+}
+
+// MeanLink returns the deterministic link from a to b using a's params —
+// the quantity topology builders reason about. The static per-pair
+// shadowing offset is included, so MeanLink is symmetric when both ends
+// use the same params.
+func (m *Medium) MeanLink(a, b ID) (phy.Link, error) {
+	ra, rb := m.radios[a], m.radios[b]
+	if ra == nil || rb == nil {
+		return phy.Link{}, fmt.Errorf("radio: unknown pair %v-%v", a, b)
+	}
+	rssi := m.meanRSSI(ra, rb, ra.params)
+	snr := rssi - m.cfg.Channel.NoiseFloorDBm(ra.params.BW)
+	return phy.Link{
+		RSSIdBm:  rssi,
+		SNRdB:    snr,
+		MarginDB: snr - phy.SNRFloorDB(ra.params.SF),
+	}, nil
+}
+
+// BusyAt reports whether r would sense the channel busy right now: some
+// other radio's ongoing transmission is detectable above the noise floor
+// plus the detection margin, or r itself is transmitting.
+func (m *Medium) BusyAt(r *Radio) bool {
+	now := m.sim.Now()
+	if r.txUntil > now {
+		return true
+	}
+	threshold := m.cfg.Channel.NoiseFloorDBm(r.params.BW) + m.cfg.DetectionMarginDB
+	for _, t := range m.active {
+		if t.done || t.from == r || t.end <= now {
+			continue
+		}
+		if phy.Orthogonal(t.params, r.params) {
+			continue
+		}
+		if m.meanRSSI(t.from, r, t.params) >= threshold {
+			return true
+		}
+	}
+	return false
+}
+
+// transmit is called by Radio.Transmit after local checks pass.
+func (m *Medium) transmit(r *Radio, frame Frame) (time.Duration, error) {
+	now := m.sim.Now()
+	airtime := phy.Airtime(r.params, frame.Bytes)
+	t := &transmission{
+		from:   r,
+		params: r.params,
+		frame:  frame,
+		start:  now,
+		end:    now.Add(airtime),
+	}
+	// Cross-register interference with every active overlapping frame.
+	for _, u := range m.active {
+		if u.done || u.end <= now {
+			continue
+		}
+		u.interferers = append(u.interferers, t)
+		t.interferers = append(t.interferers, u)
+	}
+	m.active = append(m.active, t)
+	m.stats.TxFrames++
+	m.stats.TxAirtime += airtime
+	r.txUntil = t.end
+	r.txCount++
+	r.txAirtime += airtime
+
+	// Schedule per-receiver delivery decisions at end of frame, then the
+	// pruning pass (same timestamp; simkit preserves scheduling order).
+	for _, rx := range m.order {
+		if rx == r {
+			continue
+		}
+		rx := rx
+		m.sim.At(t.end, func() { m.deliver(t, rx) })
+	}
+	m.sim.At(t.end, func() { m.prune(t) })
+	return airtime, nil
+}
+
+// deliver decides whether rx successfully receives t.
+func (m *Medium) deliver(t *transmission, rx *Radio) {
+	if rx.down || rx.handler == nil {
+		return
+	}
+	// A receiver tuned to different settings cannot demodulate the frame
+	// (multi-SF gateways demodulate every spreading factor concurrently,
+	// like an SX1301 concentrator).
+	if !rx.multiSF && !phy.CanDecode(rx.params, t.params) {
+		return
+	}
+	// Half-duplex: the receiver was transmitting during t if any of t's
+	// interferers (or t-overlapping frames sent later) came from rx.
+	for _, u := range t.interferers {
+		if u.from == rx {
+			m.stats.HalfDuplexMiss++
+			rx.missHalfDuplex++
+			return
+		}
+	}
+
+	rssi := m.meanRSSI(t.from, rx, t.params)
+	if m.cfg.FadingSigmaDB > 0 {
+		rssi += m.sim.Rand().NormFloat64() * m.cfg.FadingSigmaDB
+	}
+	snr := rssi - m.cfg.Channel.NoiseFloorDBm(t.params.BW)
+	margin := snr - phy.SNRFloorDB(t.params.SF)
+
+	// Noise-limited success: logistic waterfall around the demod floor
+	// (or a hard threshold in deterministic mode).
+	weak := margin <= 0
+	if !m.cfg.DeterministicDelivery {
+		weak = m.sim.Rand().Float64() >= phy.DeliveryProbability(margin)
+	}
+	if weak {
+		m.stats.BelowSensitivity++
+		rx.missWeak++
+		return
+	}
+
+	// Interference-limited success: the frame must beat the strongest
+	// co-channel interferer by the capture threshold.
+	strongest := math.Inf(-1)
+	for _, u := range t.interferers {
+		if u.from == rx || phy.Orthogonal(u.params, t.params) {
+			continue
+		}
+		if ir := m.meanRSSI(u.from, rx, u.params); ir > strongest {
+			strongest = ir
+		}
+	}
+	if !math.IsInf(strongest, -1) {
+		if !m.cfg.CaptureEnabled {
+			m.stats.Collided++
+			rx.missCollision++
+			return
+		}
+		cir := rssi - strongest
+		captured := cir >= m.cfg.CaptureDB
+		if !m.cfg.DeterministicDelivery {
+			captured = m.sim.Rand().Float64() < phy.DeliveryProbability(cir-m.cfg.CaptureDB)
+		}
+		if !captured {
+			m.stats.Collided++
+			rx.missCollision++
+			return
+		}
+	}
+
+	m.stats.Delivered++
+	rx.rxCount++
+	rx.handler(t.frame, RxInfo{
+		At:      m.sim.Now(),
+		From:    t.from.id,
+		RSSIdBm: rssi,
+		SNRdB:   snr,
+		Airtime: t.end.Sub(t.start),
+	})
+}
+
+// prune drops t from the active list once it can no longer interfere.
+func (m *Medium) prune(t *transmission) {
+	t.done = true
+	keep := m.active[:0]
+	for _, u := range m.active {
+		if !u.done {
+			keep = append(keep, u)
+		}
+	}
+	// Zero the tail so pruned transmissions are collectable.
+	for i := len(keep); i < len(m.active); i++ {
+		m.active[i] = nil
+	}
+	m.active = keep
+}
+
+// Radio is one simulated transceiver attached to a Medium.
+type Radio struct {
+	id      ID
+	pos     phy.Point
+	params  phy.Params
+	medium  *Medium
+	limiter *phy.DutyCycleLimiter
+	handler Handler
+	down    bool
+	multiSF bool
+	txUntil simkit.Time
+
+	txCount        uint64
+	rxCount        uint64
+	txAirtime      time.Duration
+	missWeak       uint64
+	missCollision  uint64
+	missHalfDuplex uint64
+}
+
+// ID returns the radio's address.
+func (r *Radio) ID() ID { return r.id }
+
+// Position returns the radio's location.
+func (r *Radio) Position() phy.Point { return r.pos }
+
+// SetPosition moves the radio (mobile deployments). Propagation always
+// uses positions as of the delivery decision; the static per-pair
+// shadowing offset is kept, modelling terrain rather than location.
+func (r *Radio) SetPosition(p phy.Point) { r.pos = p }
+
+// Params returns the radio's current transmission parameters.
+func (r *Radio) Params() phy.Params { return r.params }
+
+// Limiter exposes the duty-cycle limiter for telemetry.
+func (r *Radio) Limiter() *phy.DutyCycleLimiter { return r.limiter }
+
+// SetHandler installs the receive callback. Frames arriving while no
+// handler is installed are dropped silently.
+func (r *Radio) SetHandler(h Handler) { r.handler = h }
+
+// SetDown marks the radio failed (true) or restored (false). A down radio
+// neither transmits nor receives.
+func (r *Radio) SetDown(down bool) { r.down = down }
+
+// SetMultiSF makes the radio demodulate every spreading factor and
+// bandwidth on its carrier concurrently, like an SX1301-class gateway
+// concentrator. Transmissions still use the radio's own params.
+func (r *Radio) SetMultiSF(on bool) { r.multiSF = on }
+
+// Down reports whether the radio is failed.
+func (r *Radio) Down() bool { return r.down }
+
+// Busy reports whether the transmitter is mid-frame.
+func (r *Radio) Busy() bool { return r.txUntil > r.medium.sim.Now() }
+
+// ChannelClear reports whether carrier sense finds the medium idle.
+func (r *Radio) ChannelClear() bool { return !r.medium.BusyAt(r) }
+
+// DutyCycleWait returns how long until the regulator permits the next
+// transmission.
+func (r *Radio) DutyCycleWait() time.Duration {
+	return r.limiter.WaitTime(r.medium.sim.Now())
+}
+
+// Transmit puts a frame on the air. It returns the frame's airtime, or
+// one of ErrRadioDown, ErrRadioBusy, ErrDutyCycle.
+func (r *Radio) Transmit(frame Frame) (time.Duration, error) {
+	if r.medium == nil {
+		return 0, ErrUnregistered
+	}
+	now := r.medium.sim.Now()
+	if r.down {
+		return 0, ErrRadioDown
+	}
+	if r.txUntil > now {
+		return 0, ErrRadioBusy
+	}
+	if !r.limiter.CanTransmit(now) {
+		r.limiter.RecordBlocked()
+		r.medium.stats.DutyCycleBlocked++
+		return 0, ErrDutyCycle
+	}
+	airtime := phy.Airtime(r.params, frame.Bytes)
+	if dwell := r.limiter.Region().MaxDwell; dwell > 0 && airtime > dwell {
+		return 0, ErrDwellExceeded
+	}
+	r.limiter.RecordTransmission(now, airtime)
+	return r.medium.transmit(r, frame)
+}
+
+// Counters is a snapshot of one radio's outcome counters.
+type Counters struct {
+	Tx             uint64
+	Rx             uint64
+	TxAirtime      time.Duration
+	MissWeak       uint64
+	MissCollision  uint64
+	MissHalfDuplex uint64
+}
+
+// Counters returns the radio's local statistics.
+func (r *Radio) Counters() Counters {
+	return Counters{
+		Tx:             r.txCount,
+		Rx:             r.rxCount,
+		TxAirtime:      r.txAirtime,
+		MissWeak:       r.missWeak,
+		MissCollision:  r.missCollision,
+		MissHalfDuplex: r.missHalfDuplex,
+	}
+}

@@ -1,0 +1,107 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"lorameshmon/internal/node"
+	"lorameshmon/internal/phy"
+)
+
+// MobilityConfig tunes the random-waypoint model: each mobile node picks
+// a uniform waypoint in the deployment area, walks toward it at SpeedMps,
+// pauses, and repeats.
+type MobilityConfig struct {
+	SpeedMps float64
+	// Pause is the dwell time at each waypoint.
+	Pause time.Duration
+	// Tick is the position-update granularity.
+	Tick time.Duration
+	// PinnedIDs lists node addresses that never move (e.g. the sink).
+	PinnedIDs []uint16
+}
+
+// DefaultMobility walks at pedestrian speed with 30 s pauses.
+func DefaultMobility(speedMps float64) MobilityConfig {
+	return MobilityConfig{SpeedMps: speedMps, Pause: 30 * time.Second, Tick: time.Second}
+}
+
+type walker struct {
+	dep      *Deployment
+	n        *node.Node
+	cfg      MobilityConfig
+	target   phy.Point
+	pausing  bool
+	resumeAt time.Duration
+}
+
+// EnableMobility starts random-waypoint movement for every non-pinned
+// node. It requires an area (RandomGeometric layout or explicit AreaM).
+func (d *Deployment) EnableMobility(cfg MobilityConfig) error {
+	if d.Spec.AreaM <= 0 {
+		return fmt.Errorf("scenario: mobility needs a positive AreaM")
+	}
+	if cfg.SpeedMps <= 0 {
+		return fmt.Errorf("scenario: mobility needs a positive speed")
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = time.Second
+	}
+	pinned := make(map[uint16]bool, len(cfg.PinnedIDs))
+	for _, id := range cfg.PinnedIDs {
+		pinned[id] = true
+	}
+	for _, n := range d.Nodes {
+		if pinned[uint16(n.ID())] {
+			continue
+		}
+		w := &walker{dep: d, n: n, cfg: cfg}
+		w.pickWaypoint()
+		d.Sim.Every(cfg.Tick, w.step)
+	}
+	return nil
+}
+
+func (w *walker) pickWaypoint() {
+	rng := w.dep.Sim.Rand()
+	w.target = phy.Point{
+		X: rng.Float64() * w.dep.Spec.AreaM,
+		Y: rng.Float64() * w.dep.Spec.AreaM,
+	}
+}
+
+func (w *walker) step() {
+	if w.pausing {
+		w.resumeAt -= w.cfg.Tick
+		if w.resumeAt <= 0 {
+			w.pausing = false
+			w.pickWaypoint()
+		}
+		return
+	}
+	pos := w.n.Radio().Position()
+	dx, dy := w.target.X-pos.X, w.target.Y-pos.Y
+	dist := math.Hypot(dx, dy)
+	stepLen := w.cfg.SpeedMps * w.cfg.Tick.Seconds()
+	if dist <= stepLen {
+		w.n.Radio().SetPosition(w.target)
+		w.pausing = true
+		w.resumeAt = w.cfg.Pause
+		return
+	}
+	w.n.Radio().SetPosition(phy.Point{
+		X: pos.X + dx/dist*stepLen,
+		Y: pos.Y + dy/dist*stepLen,
+	})
+}
+
+// RouteChurn sums route-change events across all routers — the standard
+// mobility-stress indicator.
+func (d *Deployment) RouteChurn() uint64 {
+	var total uint64
+	for _, n := range d.Nodes {
+		total += n.Router().Counters().RouteChanges
+	}
+	return total
+}

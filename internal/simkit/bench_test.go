@@ -1,0 +1,30 @@
+package simkit
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkEventThroughput(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i%1000)*time.Microsecond, func() {})
+		if i%1024 == 1023 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+func BenchmarkTicker(b *testing.B) {
+	s := New(1)
+	n := 0
+	s.Every(time.Millisecond, func() { n++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.RunFor(time.Duration(b.N) * time.Millisecond)
+	if n == 0 {
+		b.Fatal("ticker never fired")
+	}
+}

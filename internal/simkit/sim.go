@@ -1,0 +1,261 @@
+// Package simkit provides a deterministic discrete-event simulation kernel.
+//
+// All higher-level substrates (radio medium, mesh protocol, monitoring
+// agents, uplinks) are driven by a single Sim instance: they schedule
+// callbacks at virtual times and the kernel executes them in timestamp
+// order. Determinism is guaranteed by a strict (time, sequence) ordering
+// and a seeded random source, so every simulation run is exactly
+// reproducible from its seed.
+package simkit
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual instant, expressed as an offset from the start of the
+// simulation. The zero Time is the simulation epoch.
+type Time time.Duration
+
+// Duration re-exports time.Duration for readability at call sites.
+type Duration = time.Duration
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the instant as fractional seconds since the epoch.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// String formats the instant like a duration ("1m3.5s").
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. Events are one-shot; recurring behaviour
+// is built by rescheduling from inside the callback.
+type Event struct {
+	at      Time
+	seq     uint64
+	fn      func()
+	index   int // heap index, -1 when not queued
+	stopped bool
+}
+
+// Stop cancels the event if it has not yet fired. It reports whether the
+// event was still pending. Stopping an already-fired or already-stopped
+// event is a harmless no-op.
+func (e *Event) Stop() bool {
+	if e == nil || e.stopped || e.index < 0 {
+		if e != nil {
+			e.stopped = true
+		}
+		return false
+	}
+	e.stopped = true
+	return true
+}
+
+// At reports the virtual time the event is (or was) scheduled for.
+func (e *Event) At() Time { return e.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a deterministic discrete-event simulator. It is not safe for
+// concurrent use: the entire simulation runs on the caller's goroutine.
+type Sim struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	rng    *rand.Rand
+	seed   int64
+	fired  uint64
+	halted bool
+}
+
+// New returns a simulator whose random source is seeded with seed.
+// The same seed always yields the same execution.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Seed returns the seed the simulator was created with.
+func (s *Sim) Seed() int64 { return s.seed }
+
+// Rand returns the simulator's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// EventsFired returns how many events have executed so far.
+func (s *Sim) EventsFired() uint64 { return s.fired }
+
+// Pending returns the number of events still queued.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at the absolute virtual time at. Scheduling in
+// the past (before Now) panics: it would silently reorder causality.
+func (s *Sim) At(at Time, fn func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("simkit: scheduling at %v before now %v", at, s.now))
+	}
+	e := &Event{at: at, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current time. Negative d is
+// clamped to zero, matching time.AfterFunc behaviour.
+func (s *Sim) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Every schedules fn to run every interval, starting one interval from
+// now, until the returned Ticker is stopped. The interval must be
+// positive.
+func (s *Sim) Every(interval Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("simkit: Every requires a positive interval")
+	}
+	t := &Ticker{sim: s, interval: interval, fn: fn}
+	t.schedule()
+	return t
+}
+
+// Halt stops the run loop after the currently executing event returns.
+// Queued events are retained, so a halted simulation can be resumed with
+// another Run/RunUntil call.
+func (s *Sim) Halt() { s.halted = true }
+
+// step executes the earliest pending event. It reports false when the
+// queue is empty.
+func (s *Sim) step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.stopped {
+			continue
+		}
+		s.now = e.at
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Halt is called. It
+// returns the final virtual time.
+func (s *Sim) Run() Time {
+	s.halted = false
+	for !s.halted && s.step() {
+	}
+	return s.now
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline (even if the queue drained earlier). Events
+// scheduled beyond the deadline remain queued.
+func (s *Sim) RunUntil(deadline Time) Time {
+	s.halted = false
+	for !s.halted {
+		if len(s.queue) == 0 {
+			break
+		}
+		next := s.peek()
+		if next.at > deadline {
+			break
+		}
+		s.step()
+	}
+	if !s.halted && s.now < deadline {
+		s.now = deadline
+	}
+	return s.now
+}
+
+// RunFor is RunUntil(Now+d).
+func (s *Sim) RunFor(d Duration) Time { return s.RunUntil(s.now.Add(d)) }
+
+func (s *Sim) peek() *Event {
+	// The heap may hold stopped events at the root; skip them lazily.
+	for len(s.queue) > 0 && s.queue[0].stopped {
+		heap.Pop(&s.queue)
+	}
+	if len(s.queue) == 0 {
+		return nil
+	}
+	return s.queue[0]
+}
+
+// Ticker repeats a callback at a fixed virtual interval.
+type Ticker struct {
+	sim      *Sim
+	interval Duration
+	fn       func()
+	ev       *Event
+	stopped  bool
+}
+
+func (t *Ticker) schedule() {
+	t.ev = t.sim.After(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+}
+
+// Stop cancels future ticks. It is idempotent.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.ev != nil {
+		t.ev.Stop()
+	}
+}
+
+// Jitter returns d scaled by a uniform factor in [1-frac, 1+frac]. It is
+// the standard way to desynchronise periodic protocol timers.
+func Jitter(rng *rand.Rand, d Duration, frac float64) Duration {
+	if frac <= 0 {
+		return d
+	}
+	f := 1 + frac*(2*rng.Float64()-1)
+	return time.Duration(float64(d) * f)
+}

@@ -1,0 +1,296 @@
+package simkit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(30*Time(time.Millisecond), func() { got = append(got, 3) })
+	s.At(10*Time(time.Millisecond), func() { got = append(got, 1) })
+	s.At(20*Time(time.Millisecond), func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30*Time(time.Millisecond) {
+		t.Fatalf("final time = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(Time(time.Second), func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-timestamp events reordered: %v", got)
+		}
+	}
+}
+
+func TestAfterClampsNegative(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.After(-time.Second, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("negative-delay event never fired")
+	}
+	if s.Now() != 0 {
+		t.Fatalf("clock = %v, want 0", s.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.After(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(0, func() {})
+	})
+	s.Run()
+}
+
+func TestStopPreventsFiring(t *testing.T) {
+	s := New(1)
+	fired := false
+	ev := s.After(time.Second, func() { fired = true })
+	if !ev.Stop() {
+		t.Fatal("Stop on pending event reported false")
+	}
+	if ev.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("stopped event fired")
+	}
+}
+
+func TestStopFromWithinEarlierEvent(t *testing.T) {
+	s := New(1)
+	fired := false
+	later := s.After(2*time.Second, func() { fired = true })
+	s.After(time.Second, func() { later.Stop() })
+	s.Run()
+	if fired {
+		t.Fatal("event stopped by an earlier event still fired")
+	}
+}
+
+func TestRunUntilAdvancesClockAndKeepsFuture(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.After(time.Second, func() { fired++ })
+	s.After(10*time.Second, func() { fired++ })
+	s.RunUntil(Time(5 * time.Second))
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if s.Now() != Time(5*time.Second) {
+		t.Fatalf("clock = %v, want 5s", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	s.Run()
+	if fired != 2 {
+		t.Fatalf("fired after resume = %d, want 2", fired)
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.After(time.Second, func() { fired = true })
+	s.RunUntil(Time(time.Second))
+	if !fired {
+		t.Fatal("event at the deadline did not fire")
+	}
+}
+
+func TestHaltStopsRun(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.After(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 3 {
+				s.Halt()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 (halt ignored)", count)
+	}
+	s.Run()
+	if count != 10 {
+		t.Fatalf("count after resume = %d, want 10", count)
+	}
+}
+
+func TestTickerTicksAndStops(t *testing.T) {
+	s := New(1)
+	ticks := 0
+	var tk *Ticker
+	tk = s.Every(time.Second, func() {
+		ticks++
+		if ticks == 5 {
+			tk.Stop()
+		}
+	})
+	s.RunUntil(Time(time.Minute))
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+}
+
+func TestTickerCadence(t *testing.T) {
+	s := New(1)
+	var at []Time
+	s.Every(3*time.Second, func() { at = append(at, s.Now()) })
+	s.RunUntil(Time(10 * time.Second))
+	want := []Time{Time(3 * time.Second), Time(6 * time.Second), Time(9 * time.Second)}
+	if len(at) != len(want) {
+		t.Fatalf("tick times = %v, want %v", at, want)
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("tick times = %v, want %v", at, want)
+		}
+	}
+}
+
+func TestEveryRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Every(0) did not panic")
+		}
+	}()
+	New(1).Every(0, func() {})
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []float64 {
+		s := New(42)
+		var vals []float64
+		s.Every(time.Second, func() { vals = append(vals, s.Rand().Float64()) })
+		s.RunUntil(Time(10 * time.Second))
+		return vals
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different random streams")
+		}
+	}
+}
+
+func TestEventsFiredCounter(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 7; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.Run()
+	if s.EventsFired() != 7 {
+		t.Fatalf("EventsFired = %d, want 7", s.EventsFired())
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := 10 * time.Second
+	for i := 0; i < 1000; i++ {
+		j := Jitter(rng, d, 0.25)
+		if j < 7500*time.Millisecond || j > 12500*time.Millisecond {
+			t.Fatalf("jittered value %v outside [7.5s, 12.5s]", j)
+		}
+	}
+	if Jitter(rng, d, 0) != d {
+		t.Fatal("zero-fraction jitter changed the duration")
+	}
+}
+
+// Property: for any batch of non-negative delays, events fire in
+// non-decreasing time order and the final clock equals the max delay.
+func TestPropertyOrderingInvariant(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		s := New(3)
+		var fireTimes []Time
+		var max Duration
+		for _, d := range delays {
+			dur := time.Duration(d) * time.Millisecond
+			if dur > max {
+				max = dur
+			}
+			s.After(dur, func() { fireTimes = append(fireTimes, s.Now()) })
+		}
+		s.Run()
+		if len(fireTimes) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return s.Now() == Time(max)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a stopped event never fires no matter where it sits in the
+// schedule.
+func TestPropertyStopInvariant(t *testing.T) {
+	f := func(delays []uint8, stopIdx uint8) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		idx := int(stopIdx) % len(delays)
+		s := New(5)
+		fired := make([]bool, len(delays))
+		events := make([]*Event, len(delays))
+		for i, d := range delays {
+			i := i
+			events[i] = s.After(time.Duration(d)*time.Millisecond, func() { fired[i] = true })
+		}
+		events[idx].Stop()
+		s.Run()
+		for i := range fired {
+			if i == idx && fired[i] {
+				return false
+			}
+			if i != idx && !fired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,42 @@
+package tsdb
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkAppend(b *testing.B) {
+	db := New()
+	lbl := Labels{"node": "N0001"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db.Append("m", lbl, float64(i), float64(i))
+	}
+}
+
+func BenchmarkQueryNarrowWindow(b *testing.B) {
+	db := New()
+	for s := 0; s < 10; s++ {
+		lbl := Labels{"node": fmt.Sprintf("N%04X", s+1)}
+		for i := 0; i < 100_000; i++ {
+			db.Append("m", lbl, float64(i), float64(i))
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db.Query("m", nil, 49_000, 50_000)
+	}
+}
+
+func BenchmarkDownsample(b *testing.B) {
+	pts := make([]Point, 100_000)
+	for i := range pts {
+		pts[i] = Point{TS: float64(i), Value: float64(i % 97)}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Downsample(pts, 0, 1000, AggAvg)
+	}
+}

@@ -1,0 +1,116 @@
+package tsdb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot/Restore persist the whole store, giving the collector binary
+// durability across restarts (the stdlib stand-in for InfluxDB's disk
+// storage). The format is a versioned gob stream.
+
+// snapshotVersion guards format evolution.
+const snapshotVersion = 1
+
+// SeriesDump is one series in a snapshot (exported for encoding only).
+type SeriesDump struct {
+	Labels Labels
+	Points []Point
+}
+
+// SnapshotDump is the on-disk model (exported for encoding only).
+type SnapshotDump struct {
+	Version int
+	Metrics map[string][]SeriesDump
+}
+
+// Snapshot writes the full store to w.
+func (db *DB) Snapshot(w io.Writer) error {
+	db.mu.Lock()
+	dump := SnapshotDump{
+		Version: snapshotVersion,
+		Metrics: make(map[string][]SeriesDump, len(db.metrics)),
+	}
+	for name, byLabels := range db.metrics {
+		for _, s := range byLabels {
+			s.sortPoints()
+			dump.Metrics[name] = append(dump.Metrics[name], SeriesDump{
+				Labels: s.labels.clone(),
+				Points: append([]Point(nil), s.points...),
+			})
+		}
+	}
+	db.mu.Unlock()
+
+	if err := gob.NewEncoder(w).Encode(dump); err != nil {
+		return fmt.Errorf("tsdb: snapshot: %w", err)
+	}
+	return nil
+}
+
+// Restore replaces the store's contents with the snapshot read from r.
+func (db *DB) Restore(r io.Reader) error {
+	var dump SnapshotDump
+	if err := gob.NewDecoder(r).Decode(&dump); err != nil {
+		return fmt.Errorf("tsdb: restore: %w", err)
+	}
+	if dump.Version != snapshotVersion {
+		return fmt.Errorf("tsdb: restore: unsupported snapshot version %d", dump.Version)
+	}
+	metrics := make(map[string]map[string]*series, len(dump.Metrics))
+	points := 0
+	for name, dumps := range dump.Metrics {
+		byLabels := make(map[string]*series, len(dumps))
+		for _, sd := range dumps {
+			key := sd.Labels.canonical()
+			if _, dup := byLabels[key]; dup {
+				return fmt.Errorf("tsdb: restore: duplicate series %s%v", name, sd.Labels)
+			}
+			byLabels[key] = &series{
+				labels: sd.Labels.clone(),
+				points: append([]Point(nil), sd.Points...),
+				sorted: false, // re-sort lazily; snapshots are sorted but stay defensive
+			}
+			points += len(sd.Points)
+		}
+		metrics[name] = byLabels
+	}
+	db.mu.Lock()
+	db.metrics = metrics
+	db.points = points
+	db.mu.Unlock()
+	return nil
+}
+
+// SnapshotFile atomically writes the snapshot to path (tmp + rename).
+func (db *DB) SnapshotFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tsdb-snapshot-*")
+	if err != nil {
+		return fmt.Errorf("tsdb: snapshot file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) //nolint:errcheck // best-effort cleanup
+	if err := db.Snapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("tsdb: snapshot file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("tsdb: snapshot file: %w", err)
+	}
+	return nil
+}
+
+// RestoreFile loads a snapshot written by SnapshotFile.
+func (db *DB) RestoreFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("tsdb: restore file: %w", err)
+	}
+	defer f.Close()
+	return db.Restore(f)
+}

@@ -1,0 +1,123 @@
+package tsdb
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func populated() *DB {
+	db := New()
+	for s := 0; s < 5; s++ {
+		lbl := Labels{"node": string(rune('a' + s)), "kind": "x"}
+		for i := 0; i < 100; i++ {
+			db.Append("m1", lbl, float64(i), float64(i*s))
+		}
+	}
+	db.Append("m2", nil, 7, 42)
+	db.Append("m2", Labels{"z": "1"}, 9, 43)
+	return db
+}
+
+func assertEqualDBs(t *testing.T, a, b *DB) {
+	t.Helper()
+	if a.PointCount() != b.PointCount() || a.SeriesCount() != b.SeriesCount() {
+		t.Fatalf("counts differ: %d/%d vs %d/%d",
+			a.PointCount(), a.SeriesCount(), b.PointCount(), b.SeriesCount())
+	}
+	namesA, namesB := a.MetricNames(), b.MetricNames()
+	if len(namesA) != len(namesB) {
+		t.Fatalf("metric names differ: %v vs %v", namesA, namesB)
+	}
+	for _, name := range namesA {
+		ra := a.Query(name, nil, 0, math.MaxFloat64)
+		rb := b.Query(name, nil, 0, math.MaxFloat64)
+		if len(ra) != len(rb) {
+			t.Fatalf("%s: series count differs", name)
+		}
+		for i := range ra {
+			if ra[i].Labels.canonical() != rb[i].Labels.canonical() {
+				t.Fatalf("%s: labels differ: %v vs %v", name, ra[i].Labels, rb[i].Labels)
+			}
+			if len(ra[i].Points) != len(rb[i].Points) {
+				t.Fatalf("%s%v: point count differs", name, ra[i].Labels)
+			}
+			for j := range ra[i].Points {
+				if ra[i].Points[j] != rb[i].Points[j] {
+					t.Fatalf("%s%v: point %d differs", name, ra[i].Labels, j)
+				}
+			}
+		}
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	orig := populated()
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	if err := restored.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	assertEqualDBs(t, orig, restored)
+	// The restored store must stay fully usable.
+	restored.Append("m1", Labels{"node": "a", "kind": "x"}, 1000, 1)
+	if restored.PointCount() != orig.PointCount()+1 {
+		t.Fatal("append after restore broken")
+	}
+}
+
+func TestRestoreReplacesExistingContents(t *testing.T) {
+	var buf bytes.Buffer
+	if err := populated().Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db := New()
+	db.Append("junk", Labels{"old": "1"}, 1, 1)
+	if err := db.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.QueryOne("junk", Labels{"old": "1"}, 0, 10); ok {
+		t.Fatal("pre-restore contents survived")
+	}
+}
+
+func TestRestoreGarbageFails(t *testing.T) {
+	db := New()
+	if err := db.Restore(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("garbage restored")
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.tsdb")
+	orig := populated()
+	if err := orig.SnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	if err := restored.RestoreFile(path); err != nil {
+		t.Fatal(err)
+	}
+	assertEqualDBs(t, orig, restored)
+	if err := New().RestoreFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file restored")
+	}
+}
+
+func TestSnapshotEmptyDB(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db := New()
+	if err := db.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if db.PointCount() != 0 || db.SeriesCount() != 0 {
+		t.Fatal("empty snapshot produced data")
+	}
+}

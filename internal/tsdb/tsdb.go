@@ -1,0 +1,347 @@
+// Package tsdb is a small in-memory time-series store, the stdlib-only
+// stand-in for the InfluxDB instance behind the paper's dashboard. It
+// supports labelled series, range queries with label matching,
+// aggregation, downsampling and retention pruning — everything the
+// dashboard and the analysis library need.
+//
+// The store is safe for concurrent use: the collector's HTTP ingest path
+// writes from request goroutines while the dashboard reads.
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Point is one sample.
+type Point struct {
+	TS    float64 // seconds since the deployment epoch
+	Value float64
+}
+
+// Labels identify a series within a metric, e.g. {"node": "N0001"}.
+type Labels map[string]string
+
+// canonical renders labels in sorted key order for use as a map key.
+func (l Labels) canonical() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(l[k])
+	}
+	return sb.String()
+}
+
+// clone copies labels so callers cannot mutate stored state.
+func (l Labels) clone() Labels {
+	if l == nil {
+		return nil
+	}
+	out := make(Labels, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+// matches reports whether l contains every pair in m.
+func (l Labels) matches(m Labels) bool {
+	for k, v := range m {
+		if l[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders labels like {a=1,b=2}.
+func (l Labels) String() string { return "{" + l.canonical() + "}" }
+
+type series struct {
+	labels Labels
+	points []Point
+	sorted bool
+}
+
+// sortPoints restores time order after out-of-order appends.
+func (s *series) sortPoints() {
+	if s.sorted {
+		return
+	}
+	sort.SliceStable(s.points, func(i, j int) bool { return s.points[i].TS < s.points[j].TS })
+	s.sorted = true
+}
+
+// rangePoints returns the points with from <= TS <= to.
+func (s *series) rangePoints(from, to float64) []Point {
+	s.sortPoints()
+	lo := sort.Search(len(s.points), func(i int) bool { return s.points[i].TS >= from })
+	hi := sort.Search(len(s.points), func(i int) bool { return s.points[i].TS > to })
+	out := make([]Point, hi-lo)
+	copy(out, s.points[lo:hi])
+	return out
+}
+
+// DB is the store. The zero value is not usable; call New.
+type DB struct {
+	mu      sync.RWMutex
+	metrics map[string]map[string]*series // name -> canonical labels -> series
+	points  int
+}
+
+// New returns an empty store.
+func New() *DB {
+	return &DB{metrics: make(map[string]map[string]*series)}
+}
+
+// Append adds a sample to the series (name, labels).
+func (db *DB) Append(name string, labels Labels, ts, value float64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	byLabels, ok := db.metrics[name]
+	if !ok {
+		byLabels = make(map[string]*series)
+		db.metrics[name] = byLabels
+	}
+	key := labels.canonical()
+	s, ok := byLabels[key]
+	if !ok {
+		s = &series{labels: labels.clone(), sorted: true}
+		byLabels[key] = s
+	}
+	if s.sorted && len(s.points) > 0 && ts < s.points[len(s.points)-1].TS {
+		s.sorted = false
+	}
+	s.points = append(s.points, Point{TS: ts, Value: value})
+	db.points++
+}
+
+// Result is one matched series with its points in time order.
+type Result struct {
+	Labels Labels
+	Points []Point
+}
+
+// Query returns every series of the metric whose labels contain matcher,
+// restricted to from <= TS <= to, sorted by canonical label string.
+func (db *DB) Query(name string, matcher Labels, from, to float64) []Result {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	byLabels := db.metrics[name]
+	keys := make([]string, 0, len(byLabels))
+	for k, s := range byLabels {
+		if s.labels.matches(matcher) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]Result, 0, len(keys))
+	for _, k := range keys {
+		s := byLabels[k]
+		out = append(out, Result{Labels: s.labels.clone(), Points: s.rangePoints(from, to)})
+	}
+	return out
+}
+
+// QueryOne returns the single series matching exactly (name, labels), or
+// false when it does not exist.
+func (db *DB) QueryOne(name string, labels Labels, from, to float64) (Result, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s, ok := db.metrics[name][labels.canonical()]
+	if !ok {
+		return Result{}, false
+	}
+	return Result{Labels: s.labels.clone(), Points: s.rangePoints(from, to)}, true
+}
+
+// Latest returns the most recent sample of the exact series.
+func (db *DB) Latest(name string, labels Labels) (Point, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s, ok := db.metrics[name][labels.canonical()]
+	if !ok || len(s.points) == 0 {
+		return Point{}, false
+	}
+	s.sortPoints()
+	return s.points[len(s.points)-1], true
+}
+
+// MetricNames returns all metric names, sorted.
+func (db *DB) MetricNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.metrics))
+	for name := range db.metrics {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SeriesCount returns the number of distinct series.
+func (db *DB) SeriesCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, byLabels := range db.metrics {
+		n += len(byLabels)
+	}
+	return n
+}
+
+// PointCount returns the number of stored samples.
+func (db *DB) PointCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.points
+}
+
+// Prune drops every sample with TS < before and removes empty series.
+// It returns how many samples were dropped.
+func (db *DB) Prune(before float64) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	dropped := 0
+	for name, byLabels := range db.metrics {
+		for key, s := range byLabels {
+			s.sortPoints()
+			cut := sort.Search(len(s.points), func(i int) bool { return s.points[i].TS >= before })
+			if cut == 0 {
+				continue
+			}
+			dropped += cut
+			s.points = append([]Point(nil), s.points[cut:]...)
+			if len(s.points) == 0 {
+				delete(byLabels, key)
+			}
+		}
+		if len(byLabels) == 0 {
+			delete(db.metrics, name)
+		}
+	}
+	db.points -= dropped
+	return dropped
+}
+
+// Agg selects an aggregation function.
+type Agg string
+
+// Aggregations understood by Aggregate and Downsample.
+const (
+	AggSum   Agg = "sum"
+	AggAvg   Agg = "avg"
+	AggMin   Agg = "min"
+	AggMax   Agg = "max"
+	AggCount Agg = "count"
+	AggLast  Agg = "last"
+)
+
+// Aggregate reduces points to a single value. NaN is returned for an
+// empty input (except count, which is 0).
+func Aggregate(points []Point, agg Agg) float64 {
+	if agg == AggCount {
+		return float64(len(points))
+	}
+	if len(points) == 0 {
+		return math.NaN()
+	}
+	switch agg {
+	case AggSum, AggAvg:
+		sum := 0.0
+		for _, p := range points {
+			sum += p.Value
+		}
+		if agg == AggAvg {
+			return sum / float64(len(points))
+		}
+		return sum
+	case AggMin:
+		min := points[0].Value
+		for _, p := range points[1:] {
+			if p.Value < min {
+				min = p.Value
+			}
+		}
+		return min
+	case AggMax:
+		max := points[0].Value
+		for _, p := range points[1:] {
+			if p.Value > max {
+				max = p.Value
+			}
+		}
+		return max
+	case AggLast:
+		return points[len(points)-1].Value
+	default:
+		panic(fmt.Sprintf("tsdb: unknown aggregation %q", agg))
+	}
+}
+
+// Rate computes the per-second increase of a monotone counter series,
+// tolerating resets (a drop restarts accumulation from the new value).
+func Rate(points []Point) float64 {
+	if len(points) < 2 {
+		return 0
+	}
+	span := points[len(points)-1].TS - points[0].TS
+	if span <= 0 {
+		return 0
+	}
+	inc := 0.0
+	for i := 1; i < len(points); i++ {
+		d := points[i].Value - points[i-1].Value
+		if d < 0 { // counter reset
+			d = points[i].Value
+		}
+		inc += d
+	}
+	return inc / span
+}
+
+// Downsample buckets points into fixed step windows aligned to from and
+// aggregates each bucket. Empty buckets are omitted.
+func Downsample(points []Point, from, step float64, agg Agg) []Point {
+	if step <= 0 || len(points) == 0 {
+		return nil
+	}
+	var out []Point
+	var bucket []Point
+	bucketIdx := math.Floor((points[0].TS - from) / step)
+	flush := func() {
+		if len(bucket) == 0 {
+			return
+		}
+		out = append(out, Point{
+			TS:    from + bucketIdx*step,
+			Value: Aggregate(bucket, agg),
+		})
+		bucket = bucket[:0]
+	}
+	for _, p := range points {
+		idx := math.Floor((p.TS - from) / step)
+		if idx != bucketIdx {
+			flush()
+			bucketIdx = idx
+		}
+		bucket = append(bucket, p)
+	}
+	flush()
+	return out
+}

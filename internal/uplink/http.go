@@ -1,0 +1,75 @@
+package uplink
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"lorameshmon/internal/wire"
+)
+
+// HTTP posts batches to a live collector's ingest endpoint. It is used
+// by the standalone tools (meshmon-collector clients, meshmon-replay),
+// not by the simulator.
+type HTTP struct {
+	// URL is the full ingest endpoint, e.g. http://host:8080/api/v1/ingest.
+	URL    string
+	Client *http.Client
+	// Binary selects the compact binary wire format instead of JSON.
+	Binary bool
+}
+
+var _ Uplink = (*HTTP)(nil)
+
+// NewHTTP builds an HTTP uplink with a 10 s timeout.
+func NewHTTP(url string) *HTTP {
+	return &HTTP{URL: url, Client: &http.Client{Timeout: 10 * time.Second}}
+}
+
+// Send implements Uplink. The POST runs on a new goroutine; done is
+// invoked from that goroutine when the request completes.
+func (u *HTTP) Send(batch wire.Batch, done func(err error)) {
+	data, err := u.encode(batch)
+	if err != nil {
+		done(err)
+		return
+	}
+	go func() {
+		done(u.post(data))
+	}()
+}
+
+func (u *HTTP) encode(batch wire.Batch) ([]byte, error) {
+	if u.Binary {
+		return wire.EncodeBatchBinary(batch)
+	}
+	return wire.EncodeBatch(batch)
+}
+
+// SendSync posts a batch and waits for the outcome.
+func (u *HTTP) SendSync(batch wire.Batch) error {
+	data, err := u.encode(batch)
+	if err != nil {
+		return err
+	}
+	return u.post(data)
+}
+
+func (u *HTTP) post(data []byte) error {
+	contentType := "application/json"
+	if u.Binary {
+		contentType = "application/octet-stream"
+	}
+	resp, err := u.Client.Post(u.URL, contentType, bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("uplink: post: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("uplink: server returned %s: %w", resp.Status, ErrRejected)
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package wire
+
+import "testing"
+
+func benchBatch() Batch {
+	b := Batch{Node: 1, SeqNo: 9, SentAt: 100}
+	for i := 0; i < 32; i++ {
+		b.Packets = append(b.Packets, PacketRecord{
+			TS: float64(i), Node: 1, Event: EventRx, Type: "HELLO",
+			Src: 2, Dst: BroadcastID, Via: BroadcastID, Seq: uint16(i), TTL: 1,
+			Size: 23, RSSIdBm: -100, SNRdB: 5, ForUs: true, AirtimeMS: 46,
+		})
+	}
+	return b
+}
+
+func BenchmarkEncodeJSON(b *testing.B) {
+	batch := benchBatch()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeBinary(b *testing.B) {
+	batch := benchBatch()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeBatchBinary(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeJSON(b *testing.B) {
+	data, _ := EncodeBatch(benchBatch())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBatch(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeBinary(b *testing.B) {
+	data, _ := EncodeBatchBinary(benchBatch())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBatchBinary(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package wire defines the monitoring wire format: the JSON records a
+// LoRa mesh node's monitoring client periodically ships to the server.
+//
+// The paper's client reports "detailed information about the nodes'
+// in- and outgoing LoRa packets"; we reproduce that as four record
+// kinds — per-packet events, routing-table snapshots, counter
+// summaries and heartbeats — wrapped in a batch envelope with a
+// per-node sequence number so the server can detect upload gaps.
+//
+// The package is dependency-free so both the client (on-node agent) and
+// the server (collector) can share it.
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// NodeID is a mesh node address (16-bit, LoRaMesher-style).
+type NodeID uint16
+
+func (n NodeID) String() string { return fmt.Sprintf("N%04X", uint16(n)) }
+
+// BroadcastID mirrors the mesh broadcast address in telemetry.
+const BroadcastID NodeID = 0xFFFF
+
+// Event distinguishes what happened to a packet at the reporting node.
+type Event string
+
+// Packet events.
+const (
+	EventRx   Event = "rx"   // decoded frame arrived at the radio
+	EventTx   Event = "tx"   // frame put on the air
+	EventDrop Event = "drop" // frame discarded by the router
+)
+
+// Valid reports whether e is a known event.
+func (e Event) Valid() bool { return e == EventRx || e == EventTx || e == EventDrop }
+
+// PacketRecord describes one LoRa packet event observed at a node — the
+// core monitoring datum of the paper.
+type PacketRecord struct {
+	// TS is seconds since the start of the deployment/run.
+	TS    float64 `json:"ts"`
+	Node  NodeID  `json:"node"`
+	Event Event   `json:"event"`
+
+	Type string `json:"type"` // HELLO, DATA, ACK
+	Src  NodeID `json:"src"`
+	Dst  NodeID `json:"dst"`
+	Via  NodeID `json:"via"`
+	Seq  uint16 `json:"seq"`
+	TTL  uint8  `json:"ttl"`
+	Size int    `json:"size_bytes"`
+
+	// Radio measurements; only meaningful for rx events.
+	RSSIdBm float64 `json:"rssi_dbm,omitempty"`
+	SNRdB   float64 `json:"snr_db,omitempty"`
+	// ForUs reports whether the frame was link-layer addressed to the
+	// node (rx events; false means overheard).
+	ForUs bool `json:"for_us,omitempty"`
+
+	// AirtimeMS is the frame's time on air (tx and rx events).
+	AirtimeMS float64 `json:"airtime_ms,omitempty"`
+
+	// Reason labels drop events ("no-route", "ttl-expired", ...).
+	Reason string `json:"reason,omitempty"`
+}
+
+// Validate reports structural problems.
+func (r PacketRecord) Validate() error {
+	switch {
+	case r.TS < 0:
+		return fmt.Errorf("wire: packet record: negative timestamp %v", r.TS)
+	case !r.Event.Valid():
+		return fmt.Errorf("wire: packet record: unknown event %q", r.Event)
+	case r.Type == "":
+		return errors.New("wire: packet record: empty packet type")
+	case r.Size < 0:
+		return fmt.Errorf("wire: packet record: negative size %d", r.Size)
+	case r.Event == EventDrop && r.Reason == "":
+		return errors.New("wire: packet record: drop without reason")
+	}
+	return nil
+}
+
+// RouteEntry is one routing-table row inside a RouteSnapshot.
+type RouteEntry struct {
+	Dst     NodeID  `json:"dst"`
+	NextHop NodeID  `json:"next_hop"`
+	Metric  uint8   `json:"metric"`
+	AgeS    float64 `json:"age_s"`
+	SNRdB   float64 `json:"snr_db,omitempty"`
+}
+
+// RouteSnapshot is a node's full routing table at one instant, letting
+// the server reconstruct topology and route evolution.
+type RouteSnapshot struct {
+	TS     float64      `json:"ts"`
+	Node   NodeID       `json:"node"`
+	Routes []RouteEntry `json:"routes"`
+}
+
+// Validate reports structural problems.
+func (s RouteSnapshot) Validate() error {
+	if s.TS < 0 {
+		return fmt.Errorf("wire: route snapshot: negative timestamp %v", s.TS)
+	}
+	for i, r := range s.Routes {
+		if r.Metric == 0 {
+			return fmt.Errorf("wire: route snapshot: entry %d has zero metric", i)
+		}
+		if r.AgeS < 0 {
+			return fmt.Errorf("wire: route snapshot: entry %d has negative age", i)
+		}
+	}
+	return nil
+}
+
+// NodeStats is the periodic counter summary a node reports: protocol
+// counters, radio outcomes and regulatory state.
+type NodeStats struct {
+	TS   float64 `json:"ts"`
+	Node NodeID  `json:"node"`
+
+	UptimeS float64 `json:"uptime_s"`
+
+	HelloSent uint64 `json:"hello_sent"`
+	DataSent  uint64 `json:"data_sent"`
+	AckSent   uint64 `json:"ack_sent"`
+	Forwarded uint64 `json:"forwarded"`
+
+	HelloRecv     uint64 `json:"hello_recv"`
+	DataRecv      uint64 `json:"data_recv"`
+	AckRecv       uint64 `json:"ack_recv"`
+	Overheard     uint64 `json:"overheard"`
+	Delivered     uint64 `json:"delivered"`
+	DupSuppressed uint64 `json:"dup_suppressed"`
+
+	DropNoRoute    uint64 `json:"drop_no_route"`
+	DropTTL        uint64 `json:"drop_ttl"`
+	DropQueueFull  uint64 `json:"drop_queue_full"`
+	DropAckTimeout uint64 `json:"drop_ack_timeout"`
+
+	RetriesSpent uint64 `json:"retries_spent"`
+	SendFailures uint64 `json:"send_failures"`
+	RouteCount   int    `json:"route_count"`
+	QueueLen     int    `json:"queue_len"`
+
+	AirtimeMS      float64 `json:"airtime_ms"`
+	DutyCycleUsed  float64 `json:"duty_cycle_used"`
+	DutyBlocked    uint64  `json:"duty_blocked"`
+	RxMissWeak     uint64  `json:"rx_miss_weak"`
+	RxMissCollided uint64  `json:"rx_miss_collided"`
+}
+
+// Validate reports structural problems.
+func (s NodeStats) Validate() error {
+	switch {
+	case s.TS < 0:
+		return fmt.Errorf("wire: node stats: negative timestamp %v", s.TS)
+	case s.UptimeS < 0:
+		return fmt.Errorf("wire: node stats: negative uptime %v", s.UptimeS)
+	case s.DutyCycleUsed < 0 || s.DutyCycleUsed > 1:
+		return fmt.Errorf("wire: node stats: duty cycle %v outside [0,1]", s.DutyCycleUsed)
+	}
+	return nil
+}
+
+// Heartbeat is the minimal liveness beacon, sent even when a node has
+// nothing else to report; the server's node-down detector keys off it.
+type Heartbeat struct {
+	TS       float64 `json:"ts"`
+	Node     NodeID  `json:"node"`
+	UptimeS  float64 `json:"uptime_s"`
+	Firmware string  `json:"firmware,omitempty"`
+}
+
+// Validate reports structural problems.
+func (h Heartbeat) Validate() error {
+	if h.TS < 0 {
+		return fmt.Errorf("wire: heartbeat: negative timestamp %v", h.TS)
+	}
+	return nil
+}
+
+// Batch is the upload envelope. SeqNo increments per node per batch, so
+// the server can detect lost uploads; SentAt is the transmission time
+// (records inside may be older when the uplink was buffered).
+type Batch struct {
+	Node   NodeID  `json:"node"`
+	SeqNo  uint64  `json:"seq_no"`
+	SentAt float64 `json:"sent_at"`
+
+	Packets    []PacketRecord  `json:"packets,omitempty"`
+	Routes     []RouteSnapshot `json:"routes,omitempty"`
+	Stats      []NodeStats     `json:"stats,omitempty"`
+	Heartbeats []Heartbeat     `json:"heartbeats,omitempty"`
+}
+
+// Len returns the number of records in the batch.
+func (b Batch) Len() int {
+	return len(b.Packets) + len(b.Routes) + len(b.Stats) + len(b.Heartbeats)
+}
+
+// Validate checks the envelope and every record.
+func (b Batch) Validate() error {
+	if b.SentAt < 0 {
+		return fmt.Errorf("wire: batch: negative sent_at %v", b.SentAt)
+	}
+	for _, p := range b.Packets {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		if p.Node != b.Node {
+			return fmt.Errorf("wire: batch from %v contains packet record from %v", b.Node, p.Node)
+		}
+	}
+	for _, r := range b.Routes {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if r.Node != b.Node {
+			return fmt.Errorf("wire: batch from %v contains route snapshot from %v", b.Node, r.Node)
+		}
+	}
+	for _, s := range b.Stats {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		if s.Node != b.Node {
+			return fmt.Errorf("wire: batch from %v contains stats from %v", b.Node, s.Node)
+		}
+	}
+	for _, h := range b.Heartbeats {
+		if err := h.Validate(); err != nil {
+			return err
+		}
+		if h.Node != b.Node {
+			return fmt.Errorf("wire: batch from %v contains heartbeat from %v", b.Node, h.Node)
+		}
+	}
+	return nil
+}
+
+// EncodeBatch validates and serialises a batch to JSON.
+func EncodeBatch(b Batch) ([]byte, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(b)
+}
+
+// DecodeBatch parses and validates a batch from JSON.
+func DecodeBatch(data []byte) (Batch, error) {
+	var b Batch
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Batch{}, fmt.Errorf("wire: decode batch: %w", err)
+	}
+	if err := b.Validate(); err != nil {
+		return Batch{}, err
+	}
+	return b, nil
+}
+
+// EncodedSize returns the JSON size of the batch in bytes, the quantity
+// the uplink-bandwidth experiments sweep.
+func EncodedSize(b Batch) (int, error) {
+	data, err := EncodeBatch(b)
+	if err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}

@@ -1,0 +1,213 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func validPacket() PacketRecord {
+	return PacketRecord{
+		TS: 12.5, Node: 1, Event: EventRx, Type: "DATA",
+		Src: 2, Dst: 1, Via: 1, Seq: 7, TTL: 9, Size: 31,
+		RSSIdBm: -101.5, SNRdB: 4.2, ForUs: true, AirtimeMS: 56.6,
+	}
+}
+
+func TestPacketRecordValidate(t *testing.T) {
+	if err := validPacket().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*PacketRecord)
+	}{
+		{"negative ts", func(r *PacketRecord) { r.TS = -1 }},
+		{"bad event", func(r *PacketRecord) { r.Event = "teleport" }},
+		{"empty type", func(r *PacketRecord) { r.Type = "" }},
+		{"negative size", func(r *PacketRecord) { r.Size = -1 }},
+		{"drop without reason", func(r *PacketRecord) { r.Event = EventDrop; r.Reason = "" }},
+	}
+	for _, tc := range cases {
+		r := validPacket()
+		tc.mutate(&r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestRouteSnapshotValidate(t *testing.T) {
+	s := RouteSnapshot{TS: 5, Node: 1, Routes: []RouteEntry{{Dst: 2, NextHop: 2, Metric: 1, AgeS: 3}}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s.Routes[0].Metric = 0
+	if err := s.Validate(); err == nil {
+		t.Fatal("zero metric accepted")
+	}
+	s.Routes[0].Metric = 1
+	s.Routes[0].AgeS = -1
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative age accepted")
+	}
+}
+
+func TestNodeStatsValidate(t *testing.T) {
+	s := NodeStats{TS: 1, Node: 1, UptimeS: 100, DutyCycleUsed: 0.004}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s.DutyCycleUsed = 1.5
+	if err := s.Validate(); err == nil {
+		t.Fatal("duty cycle > 1 accepted")
+	}
+	s.DutyCycleUsed = 0.004
+	s.UptimeS = -1
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative uptime accepted")
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	b := Batch{
+		Node: 1, SeqNo: 42, SentAt: 100,
+		Packets:    []PacketRecord{validPacket()},
+		Routes:     []RouteSnapshot{{TS: 99, Node: 1}},
+		Stats:      []NodeStats{{TS: 100, Node: 1, UptimeS: 100, DutyCycleUsed: 0.002}},
+		Heartbeats: []Heartbeat{{TS: 100, Node: 1, UptimeS: 100, Firmware: "sim-1.0"}},
+	}
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", b.Len())
+	}
+	data, err := EncodeBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Node != b.Node || got.SeqNo != b.SeqNo || got.Len() != b.Len() {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Packets[0] != b.Packets[0] {
+		t.Fatalf("packet record mismatch: %+v vs %+v", got.Packets[0], b.Packets[0])
+	}
+}
+
+func TestBatchRejectsForeignRecords(t *testing.T) {
+	foreign := validPacket()
+	foreign.Node = 9
+	b := Batch{Node: 1, Packets: []PacketRecord{foreign}}
+	if err := b.Validate(); err == nil {
+		t.Fatal("foreign packet record accepted")
+	}
+	b = Batch{Node: 1, Heartbeats: []Heartbeat{{TS: 1, Node: 9}}}
+	if err := b.Validate(); err == nil {
+		t.Fatal("foreign heartbeat accepted")
+	}
+	b = Batch{Node: 1, Stats: []NodeStats{{TS: 1, Node: 9}}}
+	if err := b.Validate(); err == nil {
+		t.Fatal("foreign stats accepted")
+	}
+	b = Batch{Node: 1, Routes: []RouteSnapshot{{TS: 1, Node: 9}}}
+	if err := b.Validate(); err == nil {
+		t.Fatal("foreign route snapshot accepted")
+	}
+}
+
+func TestEncodeBatchRejectsInvalid(t *testing.T) {
+	bad := validPacket()
+	bad.Event = "nope"
+	if _, err := EncodeBatch(Batch{Node: 1, Packets: []PacketRecord{bad}}); err == nil {
+		t.Fatal("invalid batch encoded")
+	}
+}
+
+func TestDecodeBatchRejectsGarbage(t *testing.T) {
+	if _, err := DecodeBatch([]byte("{not json")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	if _, err := DecodeBatch([]byte(`{"node":1,"sent_at":-5}`)); err == nil {
+		t.Fatal("invalid envelope decoded")
+	}
+}
+
+func TestJSONFieldNamesAreStable(t *testing.T) {
+	data, err := EncodeBatch(Batch{Node: 1, SeqNo: 1, SentAt: 2, Packets: []PacketRecord{validPacket()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, field := range []string{
+		`"node"`, `"seq_no"`, `"sent_at"`, `"packets"`, `"ts"`, `"event"`,
+		`"rssi_dbm"`, `"snr_db"`, `"airtime_ms"`, `"size_bytes"`,
+	} {
+		if !strings.Contains(s, field) {
+			t.Errorf("encoded batch missing field %s: %s", field, s)
+		}
+	}
+}
+
+func TestEncodedSizeMatchesEncoding(t *testing.T) {
+	b := Batch{Node: 1, Packets: []PacketRecord{validPacket()}}
+	n, err := EncodedSize(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := EncodeBatch(b)
+	if n != len(data) {
+		t.Fatalf("EncodedSize = %d, len = %d", n, len(data))
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	if got := NodeID(0x1A2B).String(); got != "N1A2B" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: any batch built from structurally valid records survives an
+// encode/decode round trip with record counts intact.
+func TestPropertyBatchRoundTrip(t *testing.T) {
+	f := func(node uint16, seq uint64, nPkts, nHB uint8) bool {
+		b := Batch{Node: NodeID(node), SeqNo: seq, SentAt: 1}
+		for i := 0; i < int(nPkts)%20; i++ {
+			p := validPacket()
+			p.Node = NodeID(node)
+			p.Seq = uint16(i)
+			b.Packets = append(b.Packets, p)
+		}
+		for i := 0; i < int(nHB)%20; i++ {
+			b.Heartbeats = append(b.Heartbeats, Heartbeat{TS: float64(i), Node: NodeID(node)})
+		}
+		data, err := EncodeBatch(b)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeBatch(data)
+		if err != nil {
+			return false
+		}
+		return got.Len() == b.Len() && got.SeqNo == b.SeqNo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the JSON decoder never panics and never returns an invalid
+// batch on arbitrary input.
+func TestPropertyJSONDecoderRobust(t *testing.T) {
+	f := func(data []byte) bool {
+		b, err := DecodeBatch(data)
+		if err != nil {
+			return true
+		}
+		return b.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

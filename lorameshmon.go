@@ -1,0 +1,196 @@
+// Package lorameshmon is a monitoring system for LoRa mesh networks — a
+// from-scratch Go reproduction of "Towards a Monitoring System for a
+// LoRa Mesh Network" (Capella Del Solar, Solé, Freitag; ICDCS 2022).
+//
+// The library contains the complete stack the paper describes or
+// depends on:
+//
+//   - a deterministic discrete-event simulator (internal/simkit),
+//   - a LoRa PHY and shared-medium model with collisions, capture and
+//     EU868 duty-cycle regulation (internal/phy, internal/radio),
+//   - a LoRaMesher-style distance-vector mesh protocol (internal/mesh),
+//   - the paper's client side: a per-node monitoring agent that records
+//     every in- and outgoing LoRa packet and ships batches over an
+//     out-of-band uplink (internal/agent, internal/wire,
+//     internal/uplink),
+//   - the paper's server side: a collector with a custom time-series
+//     store, web dashboard, alerting and analysis (internal/collector,
+//     internal/tsdb, internal/dashboard, internal/alert,
+//     internal/analysis),
+//   - a LoRaWAN single-gateway baseline (internal/baseline), and
+//   - scenario tooling for topologies, traffic and failure injection
+//     (internal/scenario).
+//
+// This package is the facade: New builds a fully wired monitored
+// deployment (simulated mesh + agents + collector + alerting +
+// dashboard) from a Spec, and System exposes the analysis entry points
+// the evaluation uses.
+package lorameshmon
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"lorameshmon/internal/alert"
+	"lorameshmon/internal/analysis"
+	"lorameshmon/internal/collector"
+	"lorameshmon/internal/dashboard"
+	"lorameshmon/internal/scenario"
+	"lorameshmon/internal/tsdb"
+	"lorameshmon/internal/wire"
+)
+
+// Re-exported configuration surface. The concrete types live in
+// internal packages; these aliases are the supported way to use them.
+type (
+	// Spec describes a deployment (nodes, layout, radio, protocol,
+	// monitoring).
+	Spec = scenario.Spec
+	// Layout selects node placement.
+	Layout = scenario.Layout
+	// Deployment is a built simulated network.
+	Deployment = scenario.Deployment
+	// Alert is one alerting-engine finding.
+	Alert = alert.Alert
+	// NodeInfo is the collector's registry entry for a node.
+	NodeInfo = collector.NodeInfo
+	// Topology is a set of directed radio links.
+	Topology = analysis.Topology
+	// TopologyAccuracy scores an inferred topology against ground truth.
+	TopologyAccuracy = analysis.Accuracy
+	// NodeID is a mesh node address.
+	NodeID = wire.NodeID
+)
+
+// Placement layouts.
+const (
+	Line            = scenario.Line
+	Grid            = scenario.Grid
+	RandomGeometric = scenario.RandomGeometric
+	Star            = scenario.Star
+)
+
+// DefaultSpec returns the standard 10-node monitored campus deployment.
+func DefaultSpec() Spec { return scenario.DefaultSpec() }
+
+// Options tunes the server-side components of a System.
+type Options struct {
+	Collector collector.Config
+	Alert     alert.Config
+	Dashboard dashboard.Config
+	// AlertCheckInterval is the simulated cadence of rule evaluation.
+	AlertCheckInterval time.Duration
+}
+
+// System is a complete monitored deployment: the simulated mesh with
+// per-node monitoring clients, and the server stack they report into.
+type System struct {
+	Spec       Spec
+	Deployment *Deployment
+	DB         *tsdb.DB
+	Collector  *collector.Collector
+	Alerts     *alert.Engine
+	Dashboard  *dashboard.Server
+
+	opts    Options
+	fired   []Alert
+	started bool
+}
+
+// New builds a System from spec with default server options.
+func New(spec Spec) (*System, error) { return NewWithOptions(spec, Options{}) }
+
+// NewWithOptions builds a System with explicit server options.
+func NewWithOptions(spec Spec, opts Options) (*System, error) {
+	if opts.AlertCheckInterval <= 0 {
+		opts.AlertCheckInterval = 30 * time.Second
+	}
+	db := tsdb.New()
+	coll := collector.New(db, opts.Collector)
+	dep, err := scenario.Build(spec, coll)
+	if err != nil {
+		return nil, fmt.Errorf("lorameshmon: %w", err)
+	}
+	engine := alert.NewEngine(coll, opts.Alert)
+	dcfg := opts.Dashboard
+	if dcfg.SF == 0 {
+		dcfg.SF = spec.Phy.SF
+	}
+	sys := &System{
+		Spec:       spec,
+		Deployment: dep,
+		DB:         db,
+		Collector:  coll,
+		Alerts:     engine,
+		Dashboard:  dashboard.New(coll, engine, dcfg),
+		opts:       opts,
+	}
+	return sys, nil
+}
+
+// Start powers on every node and begins periodic alert evaluation.
+// Calling Start again is a no-op.
+func (s *System) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.Deployment.Start()
+	s.Deployment.Sim.Every(s.opts.AlertCheckInterval, func() {
+		s.fired = append(s.fired, s.Alerts.Check(s.Collector.MaxTS())...)
+	})
+}
+
+// RunFor advances the simulation by d.
+func (s *System) RunFor(d time.Duration) { s.Deployment.RunFor(d) }
+
+// FiredAlerts returns every alert raised since Start, in firing order.
+func (s *System) FiredAlerts() []Alert {
+	out := make([]Alert, len(s.fired))
+	copy(out, s.fired)
+	return out
+}
+
+// Handler serves the full web surface: the dashboard at / and the
+// collector's JSON API under /api/v1/.
+func (s *System) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/api/", s.Collector.APIHandler())
+	mux.Handle("/", s.Dashboard.Handler())
+	return mux
+}
+
+// InferTopology reconstructs the mesh graph from collected telemetry
+// (links observed at least minObs times).
+func (s *System) InferTopology(minObs uint64) Topology {
+	return analysis.InferTopology(s.Collector, 0, minObs)
+}
+
+// TopologyAccuracy compares the inferred topology against the
+// simulator's ground truth.
+func (s *System) TopologyAccuracy(minObs uint64) TopologyAccuracy {
+	return analysis.CompareTopology(s.InferTopology(minObs), analysis.TrueTopology(s.Deployment.Medium))
+}
+
+// TelemetryPDR estimates the network delivery ratio from collected
+// counter summaries (what an administrator sees on the dashboard).
+func (s *System) TelemetryPDR() (float64, bool) {
+	return analysis.NetworkPDRFromStats(s.Collector)
+}
+
+// TruePDR is the simulator's ground-truth application delivery ratio.
+func (s *System) TruePDR() float64 { return s.Deployment.PDR() }
+
+// MonitoringCompleteness is the fraction of the packet events that
+// actually happened on the nodes which are visible at the server.
+func (s *System) MonitoringCompleteness() float64 {
+	visible := analysis.PacketEventsIngested(s.Collector, 0, s.Collector.MaxTS()+1)
+	var actual uint64
+	for _, n := range s.Deployment.Nodes {
+		if ag := n.Agent(); ag != nil {
+			actual += ag.Counters().PacketEvents
+		}
+	}
+	return analysis.Completeness(visible, actual)
+}

@@ -1,0 +1,208 @@
+package lorameshmon
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lorameshmon/internal/mesh"
+	"lorameshmon/internal/phy"
+	"lorameshmon/internal/tsdb"
+)
+
+// testSpec is a small deterministic monitored line.
+func testSpec(n int) Spec {
+	spec := DefaultSpec()
+	spec.N = n
+	spec.Layout = Line
+	spec.SpacingM = 16.5
+	spec.Region = phy.Unregulated()
+	spec.Radio.Channel = phy.FreeSpaceChannel()
+	spec.Radio.Channel.PathLossExponent = 8
+	spec.Radio.DeterministicDelivery = true
+	return spec
+}
+
+func TestSystemEndToEnd(t *testing.T) {
+	sys, err := New(testSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	if err := sys.Deployment.ConvergecastTraffic(1, time.Minute, 20, false); err != nil {
+		t.Fatal(err)
+	}
+	sys.RunFor(30 * time.Minute)
+
+	// Server learned about all three nodes.
+	if nodes := sys.Collector.Nodes(); len(nodes) != 3 {
+		t.Fatalf("registry = %d nodes", len(nodes))
+	}
+	// Topology inference is exact on a quiet deterministic line.
+	acc := sys.TopologyAccuracy(2)
+	if acc.F1 < 0.99 {
+		t.Fatalf("topology F1 = %v (%+v)", acc.F1, acc)
+	}
+	// Telemetry PDR tracks ground truth.
+	est, ok := sys.TelemetryPDR()
+	if !ok {
+		t.Fatal("no telemetry PDR")
+	}
+	if truth := sys.TruePDR(); est < truth-0.2 || est > truth+0.2 {
+		t.Fatalf("telemetry PDR %v vs truth %v", est, truth)
+	}
+	// Monitoring pipeline is essentially lossless on a healthy uplink.
+	if c := sys.MonitoringCompleteness(); c < 0.9 {
+		t.Fatalf("completeness = %v", c)
+	}
+	if len(sys.FiredAlerts()) != 0 {
+		t.Fatalf("alerts on a healthy network: %+v", sys.FiredAlerts())
+	}
+}
+
+func TestSystemDetectsNodeFailure(t *testing.T) {
+	sys, err := New(testSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	sys.RunFor(10 * time.Minute)
+	if err := sys.Deployment.ScheduleFailure(3, sys.Deployment.Sim.Now().Add(time.Minute), 0); err != nil {
+		t.Fatal(err)
+	}
+	sys.RunFor(10 * time.Minute)
+	fired := sys.FiredAlerts()
+	found := false
+	for _, a := range fired {
+		if a.Kind == "node-down" && a.Node == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("node-down for N0003 not raised; fired = %+v", fired)
+	}
+}
+
+func TestSystemHandlerServesDashboardAndAPI(t *testing.T) {
+	sys, err := New(testSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	sys.RunFor(5 * time.Minute)
+	srv := httptest.NewServer(sys.Handler())
+	defer srv.Close()
+
+	for _, path := range []string{"/", "/traffic", "/topology", "/api/v1/nodes", "/api/v1/stats"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s -> %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Fatalf("%s returned empty body", path)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "N0001") {
+		t.Fatal("dashboard missing node table")
+	}
+}
+
+func TestNewRejectsBadSpec(t *testing.T) {
+	spec := testSpec(0)
+	if _, err := New(spec); err == nil {
+		t.Fatal("zero-node spec accepted")
+	}
+}
+
+func TestFragmentTelemetryVisibleAtServer(t *testing.T) {
+	spec := testSpec(3)
+	sys, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	sys.RunFor(10 * time.Minute) // converge
+
+	var status mesh.TransferStatus
+	payload := make([]byte, 600) // 4 fragments
+	if _, err := sys.Deployment.Node(1).Router().SendLarge(3, payload,
+		func(s mesh.TransferStatus) { status = s }); err != nil {
+		t.Fatal(err)
+	}
+	sys.RunFor(10 * time.Minute)
+	if status != mesh.TransferDelivered {
+		t.Fatalf("transfer status = %v", status)
+	}
+	// The monitoring pipeline reported the fragment traffic end to end.
+	fragEvents := 0.0
+	for _, res := range sys.DB.Query("mesh_packets", tsdb.Labels{"type": "FRAG"}, 0, 1e18) {
+		fragEvents += tsdb.Aggregate(res.Points, tsdb.AggSum)
+	}
+	// 4 fragments: tx at node 1, rx+fwd at node 2, rx at node 3 = >= 16.
+	if fragEvents < 16 {
+		t.Fatalf("fragment events at server = %v, want >= 16", fragEvents)
+	}
+	ackSeen := false
+	for _, p := range sys.Collector.Recent(0) {
+		if p.Type == "FRAGACK" {
+			ackSeen = true
+		}
+	}
+	if !ackSeen {
+		t.Fatal("no FRAGACK visible in recent traffic")
+	}
+}
+
+func TestBinaryUplinkCodecEndToEnd(t *testing.T) {
+	spec := testSpec(2)
+	spec.Uplink.BinaryCodec = true
+	sys, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	sys.RunFor(10 * time.Minute)
+	if sys.Collector.Stats().BatchesIngested == 0 {
+		t.Fatal("no batches ingested with binary codec accounting")
+	}
+	if c := sys.MonitoringCompleteness(); c < 0.9 {
+		t.Fatalf("completeness = %v with binary codec", c)
+	}
+}
+
+func TestStartIsIdempotent(t *testing.T) {
+	sys, err := New(testSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	sys.Start() // must not double-register the alert ticker
+	sys.RunFor(10 * time.Minute)
+	// With a single ticker, a healthy 2-node mesh fires no alerts; a
+	// duplicated ticker would also work, so assert on event counts: the
+	// second Start must not change behaviour vs a single one.
+	single, errS := New(testSpec(2))
+	if errS != nil {
+		t.Fatal(errS)
+	}
+	single.Start()
+	single.RunFor(10 * time.Minute)
+	if sys.Deployment.Sim.EventsFired() != single.Deployment.Sim.EventsFired() {
+		t.Fatalf("double Start changed event count: %d vs %d",
+			sys.Deployment.Sim.EventsFired(), single.Deployment.Sim.EventsFired())
+	}
+}
