@@ -1,0 +1,125 @@
+// Command meshmon-bench measures the cost of regenerating each
+// experiment table: wall-clock time, heap allocations and bytes
+// allocated per run. It writes the results as JSON (BENCH_1.json by
+// default) so perf regressions across PRs are diffable artifacts, not
+// folklore.
+//
+// Usage:
+//
+//	meshmon-bench                  # bench every experiment, write BENCH_1.json
+//	meshmon-bench -only T2,F5      # subset by ID or name
+//	meshmon-bench -reps 3          # best-of-3 timing
+//	meshmon-bench -o out.json      # alternate output path
+//
+// Measurements run with sweep parallelism 1 so allocation counts are
+// stable and comparable across machines; pass -j to override when
+// timing the parallel engine instead.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"lorameshmon/internal/experiments"
+)
+
+type result struct {
+	ID          string `json:"id"`
+	Name        string `json:"name"`
+	Rows        int    `json:"rows"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+}
+
+type report struct {
+	GoVersion   string   `json:"go_version"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Parallelism int      `json:"parallelism"`
+	Reps        int      `json:"reps"`
+	Results     []result `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_1.json", "output JSON path (- for stdout only)")
+	only := flag.String("only", "", "comma-separated experiment IDs or names")
+	reps := flag.Int("reps", 1, "repetitions per experiment; best time and min allocs are reported")
+	workers := flag.Int("j", 1, "sweep parallelism during measurement (1 = stable allocation counts)")
+	flag.Parse()
+
+	experiments.SetParallelism(*workers)
+	selected := map[string]bool{}
+	for _, tok := range strings.Split(*only, ",") {
+		tok = strings.TrimSpace(strings.ToLower(tok))
+		if tok != "" {
+			selected[tok] = true
+		}
+	}
+
+	rep := report{
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallelism: experiments.Parallelism(),
+		Reps:        *reps,
+	}
+	for _, e := range experiments.All() {
+		if len(selected) > 0 &&
+			!selected[strings.ToLower(e.ID)] && !selected[strings.ToLower(e.Name)] {
+			continue
+		}
+		r := bench(e, *reps)
+		rep.Results = append(rep.Results, r)
+		fmt.Printf("%-4s %-22s %12d ns/op %10d allocs/op %12d B/op %4d rows\n",
+			r.ID, r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.Rows)
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches %q\n", *only)
+		os.Exit(1)
+	}
+
+	if *out != "-" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "meshmon-bench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "meshmon-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d experiments)\n", *out, len(rep.Results))
+	}
+}
+
+// bench runs one experiment reps times and keeps the best wall time and
+// the lowest allocation count (GC noise only ever inflates both).
+func bench(e experiments.Experiment, reps int) result {
+	r := result{ID: e.ID, Name: e.Name}
+	for i := 0; i < reps; i++ {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		table := e.Run()
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+
+		r.Rows = len(table.Rows)
+		ns := elapsed.Nanoseconds()
+		allocs := after.Mallocs - before.Mallocs
+		bytes := after.TotalAlloc - before.TotalAlloc
+		if i == 0 || ns < r.NsPerOp {
+			r.NsPerOp = ns
+		}
+		if i == 0 || allocs < r.AllocsPerOp {
+			r.AllocsPerOp = allocs
+			r.BytesPerOp = bytes
+		}
+	}
+	return r
+}

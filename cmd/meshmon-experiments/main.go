@@ -5,8 +5,15 @@
 // Usage:
 //
 //	meshmon-experiments             # run everything
+//	meshmon-experiments -parallel   # overlap tables across cores
 //	meshmon-experiments -only F5,T1 # run a subset by ID or name
 //	meshmon-experiments -list       # list experiment IDs
+//
+// -parallel overlaps whole tables (and their sweep points) across a
+// worker pool while still printing them in presentation order; every
+// table is byte-identical to the sequential run because each sweep
+// point owns a private seeded simulation and results are joined in
+// index order. Only the "generated in" timing lines differ.
 package main
 
 import (
@@ -22,6 +29,8 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs or names to run")
 	list := flag.Bool("list", false, "list experiments and exit")
+	parallel := flag.Bool("parallel", false, "overlap tables across cores (output order and bytes unchanged)")
+	workers := flag.Int("j", 0, "worker bound for -parallel and sweep points (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	all := experiments.All()
@@ -31,6 +40,8 @@ func main() {
 		}
 		return
 	}
+	experiments.SetParallelism(*workers)
+
 	selected := map[string]bool{}
 	for _, tok := range strings.Split(*only, ",") {
 		tok = strings.TrimSpace(strings.ToLower(tok))
@@ -38,20 +49,52 @@ func main() {
 			selected[tok] = true
 		}
 	}
-	ran := 0
+	var chosen []experiments.Experiment
 	for _, e := range all {
 		if len(selected) > 0 &&
 			!selected[strings.ToLower(e.ID)] && !selected[strings.ToLower(e.Name)] {
 			continue
 		}
-		start := time.Now()
-		table := e.Run()
-		fmt.Println(table.Format())
-		fmt.Printf("(%s generated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-		ran++
+		chosen = append(chosen, e)
 	}
-	if ran == 0 {
+	if len(chosen) == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matches %q; use -list\n", *only)
 		os.Exit(1)
+	}
+
+	if !*parallel {
+		for _, e := range chosen {
+			start := time.Now()
+			table := e.Run()
+			fmt.Println(table.Format())
+			fmt.Printf("(%s generated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+		return
+	}
+
+	// Parallel mode: every table renders into its own buffered channel as
+	// a pool slot frees up, and the main goroutine drains the channels in
+	// presentation order — tables stream out as soon as they and all their
+	// predecessors are done.
+	type rendered struct {
+		text    string
+		elapsed time.Duration
+	}
+	sem := make(chan struct{}, experiments.Parallelism())
+	outs := make([]chan rendered, len(chosen))
+	for i := range chosen {
+		outs[i] = make(chan rendered, 1)
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			table := chosen[i].Run()
+			outs[i] <- rendered{table.Format(), time.Since(start)}
+		}(i)
+	}
+	for i, e := range chosen {
+		r := <-outs[i]
+		fmt.Println(r.text)
+		fmt.Printf("(%s generated in %v)\n\n", e.ID, r.elapsed.Round(time.Millisecond))
 	}
 }

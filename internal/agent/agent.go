@@ -392,7 +392,7 @@ func (a *Agent) uploadDone(taken []record, batch wire.Batch, err error) {
 		a.backoff = 0
 		// Drain any backlog promptly (post-outage recovery).
 		if len(a.buf) >= a.cfg.MaxBatchRecords {
-			a.sim.After(0, a.flush)
+			a.sim.Do(0, a.flush)
 		}
 		return
 	}

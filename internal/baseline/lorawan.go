@@ -110,7 +110,7 @@ func (n *Network) Start() {
 	for _, d := range n.devices {
 		d := d
 		first := time.Duration(n.sim.Rand().Float64() * float64(d.cfg.Interval))
-		n.sim.After(first, func() { n.fire(d) })
+		n.sim.Do(first, func() { n.fire(d) })
 	}
 }
 
@@ -140,7 +140,7 @@ func (n *Network) fire(d *device) {
 		d.stats.Transmitted++
 	}
 	next := simkit.Jitter(n.sim.Rand(), d.cfg.Interval, d.cfg.JitterFrac)
-	n.sim.After(next, func() { n.fire(d) })
+	n.sim.Do(next, func() { n.fire(d) })
 }
 
 func (n *Network) onGatewayFrame(f radio.Frame, _ radio.RxInfo) {

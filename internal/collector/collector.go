@@ -91,6 +91,45 @@ type nodeState struct {
 	info    NodeInfo
 	lastSeq uint64
 	seen    bool
+	// stats holds cached append handles for the node's summary metrics,
+	// aligned with statsMetricNames; uptime is the heartbeat series.
+	stats  []*tsdb.Series
+	uptime *tsdb.Series
+}
+
+// statsMetricNames lists the node summary metrics in the fixed order
+// statsValues fills; the two stay aligned.
+var statsMetricNames = []string{
+	"node_hello_sent", "node_data_sent", "node_ack_sent", "node_forwarded",
+	"node_hello_recv", "node_data_recv", "node_ack_recv", "node_overheard",
+	"node_delivered", "node_dup_suppressed",
+	"node_drop_no_route", "node_drop_ttl", "node_drop_queue_full", "node_drop_ack_timeout",
+	"node_retries", "node_send_failures",
+	"node_route_count", "node_queue_len",
+	"node_airtime_ms", "node_duty_cycle", "node_duty_blocked",
+}
+
+// statsValues extracts the summary values in statsMetricNames order.
+func statsValues(s *wire.NodeStats) [21]float64 {
+	return [21]float64{
+		float64(s.HelloSent), float64(s.DataSent), float64(s.AckSent), float64(s.Forwarded),
+		float64(s.HelloRecv), float64(s.DataRecv), float64(s.AckRecv), float64(s.Overheard),
+		float64(s.Delivered), float64(s.DupSuppressed),
+		float64(s.DropNoRoute), float64(s.DropTTL), float64(s.DropQueueFull), float64(s.DropAckTimeout),
+		float64(s.RetriesSpent), float64(s.SendFailures),
+		float64(s.RouteCount), float64(s.QueueLen),
+		s.AirtimeMS, s.DutyCycleUsed, float64(s.DutyBlocked),
+	}
+}
+
+// seriesKey identifies one cached tsdb append handle. The per-metric
+// label schema is reconstructed from the key on a cache miss, so the hot
+// ingest path allocates no Labels map and computes no canonical key.
+type seriesKey struct {
+	metric string
+	node   wire.NodeID
+	dst    wire.NodeID // mesh_route_metric destination
+	a, b   string      // event/type/reason depending on metric
 }
 
 // LinkObs aggregates the direct radio link tx→rx as observed from
@@ -117,9 +156,13 @@ type Collector struct {
 	db     *tsdb.DB
 	nodes  map[wire.NodeID]*nodeState
 	links  map[linkKey]*LinkObs
-	recent []wire.PacketRecord
-	stats  Stats
-	maxTS  float64
+	series map[seriesKey]*tsdb.Series
+	// recent is a ring buffer of the newest packet records; recentHead is
+	// the index of the oldest entry once the ring is full.
+	recent     []wire.PacketRecord
+	recentHead int
+	stats      Stats
+	maxTS      float64
 }
 
 // New builds a collector writing into db.
@@ -128,11 +171,36 @@ func New(db *tsdb.DB, cfg Config) *Collector {
 		cfg.RecentPackets = DefaultConfig().RecentPackets
 	}
 	return &Collector{
-		cfg:   cfg,
-		db:    db,
-		nodes: make(map[wire.NodeID]*nodeState),
-		links: make(map[linkKey]*LinkObs),
+		cfg:    cfg,
+		db:     db,
+		nodes:  make(map[wire.NodeID]*nodeState),
+		links:  make(map[linkKey]*LinkObs),
+		series: make(map[seriesKey]*tsdb.Series),
 	}
+}
+
+// handleFor returns the cached append handle for key, building the
+// metric's label set only on the first miss. Callers hold c.mu.
+func (c *Collector) handleFor(key seriesKey) *tsdb.Series {
+	if h, ok := c.series[key]; ok {
+		return h
+	}
+	labels := tsdb.Labels{"node": key.node.String()}
+	switch key.metric {
+	case "mesh_packets":
+		labels["event"], labels["type"] = key.a, key.b
+	case "mesh_packet_bytes":
+		labels["event"] = key.a
+	case "mesh_airtime_ms":
+		labels["type"] = key.a
+	case "mesh_drops":
+		labels["reason"] = key.a
+	case "mesh_route_metric":
+		labels["dst"] = key.dst.String()
+	}
+	h := c.db.Series(key.metric, labels)
+	c.series[key] = h
+	return h
 }
 
 // DB exposes the underlying time-series store (dashboard, analysis).
@@ -180,9 +248,20 @@ func (c *Collector) Recent(limit int) []wire.PacketRecord {
 	}
 	out := make([]wire.PacketRecord, limit)
 	for i := 0; i < limit; i++ {
-		out[i] = c.recent[n-1-i]
+		out[i] = c.recent[(c.recentHead+n-1-i)%n]
 	}
 	return out
+}
+
+// addRecent records p in the ring buffer, overwriting the oldest entry
+// once full — no per-packet reallocation.
+func (c *Collector) addRecent(p wire.PacketRecord) {
+	if len(c.recent) < c.cfg.RecentPackets {
+		c.recent = append(c.recent, p)
+		return
+	}
+	c.recent[c.recentHead] = p
+	c.recentHead = (c.recentHead + 1) % len(c.recent)
 }
 
 // MaxTS returns the newest record timestamp seen, the collector's notion
@@ -272,23 +351,19 @@ func (c *Collector) bump(ts float64) {
 
 func (c *Collector) ingestPacket(p wire.PacketRecord) {
 	c.bump(p.TS)
-	node := p.Node.String()
 	ev := string(p.Event)
-	c.db.Append("mesh_packets", tsdb.Labels{"node": node, "event": ev, "type": p.Type}, p.TS, 1)
-	c.db.Append("mesh_packet_bytes", tsdb.Labels{"node": node, "event": ev}, p.TS, float64(p.Size))
+	c.handleFor(seriesKey{metric: "mesh_packets", node: p.Node, a: ev, b: p.Type}).Append(p.TS, 1)
+	c.handleFor(seriesKey{metric: "mesh_packet_bytes", node: p.Node, a: ev}).Append(p.TS, float64(p.Size))
 	switch p.Event {
 	case wire.EventRx:
-		c.db.Append("mesh_packet_rssi", tsdb.Labels{"node": node}, p.TS, p.RSSIdBm)
-		c.db.Append("mesh_packet_snr", tsdb.Labels{"node": node}, p.TS, p.SNRdB)
+		c.handleFor(seriesKey{metric: "mesh_packet_rssi", node: p.Node}).Append(p.TS, p.RSSIdBm)
+		c.handleFor(seriesKey{metric: "mesh_packet_snr", node: p.Node}).Append(p.TS, p.SNRdB)
 	case wire.EventTx:
-		c.db.Append("mesh_airtime_ms", tsdb.Labels{"node": node, "type": p.Type}, p.TS, p.AirtimeMS)
+		c.handleFor(seriesKey{metric: "mesh_airtime_ms", node: p.Node, a: p.Type}).Append(p.TS, p.AirtimeMS)
 	case wire.EventDrop:
-		c.db.Append("mesh_drops", tsdb.Labels{"node": node, "reason": p.Reason}, p.TS, 1)
+		c.handleFor(seriesKey{metric: "mesh_drops", node: p.Node, a: p.Reason}).Append(p.TS, 1)
 	}
-	c.recent = append(c.recent, p)
-	if over := len(c.recent) - c.cfg.RecentPackets; over > 0 {
-		c.recent = append([]wire.PacketRecord(nil), c.recent[over:]...)
-	}
+	c.addRecent(p)
 	// Received HELLOs are single-hop by construction, so src really is
 	// the link-layer transmitter: aggregate the direct link src→node.
 	if p.Event == wire.EventRx && p.Type == "HELLO" && p.Src != p.Node {
@@ -333,10 +408,9 @@ func (c *Collector) ingestRoutes(st *nodeState, r wire.RouteSnapshot) {
 	if st.info.LastRoutes == nil || r.TS >= st.info.LastRoutes.TS {
 		st.info.LastRoutes = &r
 	}
-	node := r.Node.String()
 	for _, e := range r.Routes {
-		c.db.Append("mesh_route_metric",
-			tsdb.Labels{"node": node, "dst": e.Dst.String()}, r.TS, float64(e.Metric))
+		c.handleFor(seriesKey{metric: "mesh_route_metric", node: r.Node, dst: e.Dst}).
+			Append(r.TS, float64(e.Metric))
 	}
 }
 
@@ -345,31 +419,16 @@ func (c *Collector) ingestStats(st *nodeState, s wire.NodeStats) {
 	if st.info.LastStats == nil || s.TS >= st.info.LastStats.TS {
 		st.info.LastStats = &s
 	}
-	node := tsdb.Labels{"node": s.Node.String()}
-	for name, v := range map[string]float64{
-		"node_hello_sent":       float64(s.HelloSent),
-		"node_data_sent":        float64(s.DataSent),
-		"node_ack_sent":         float64(s.AckSent),
-		"node_forwarded":        float64(s.Forwarded),
-		"node_hello_recv":       float64(s.HelloRecv),
-		"node_data_recv":        float64(s.DataRecv),
-		"node_ack_recv":         float64(s.AckRecv),
-		"node_overheard":        float64(s.Overheard),
-		"node_delivered":        float64(s.Delivered),
-		"node_dup_suppressed":   float64(s.DupSuppressed),
-		"node_drop_no_route":    float64(s.DropNoRoute),
-		"node_drop_ttl":         float64(s.DropTTL),
-		"node_drop_queue_full":  float64(s.DropQueueFull),
-		"node_drop_ack_timeout": float64(s.DropAckTimeout),
-		"node_retries":          float64(s.RetriesSpent),
-		"node_send_failures":    float64(s.SendFailures),
-		"node_route_count":      float64(s.RouteCount),
-		"node_queue_len":        float64(s.QueueLen),
-		"node_airtime_ms":       s.AirtimeMS,
-		"node_duty_cycle":       s.DutyCycleUsed,
-		"node_duty_blocked":     float64(s.DutyBlocked),
-	} {
-		c.db.Append(name, node, s.TS, v)
+	if st.stats == nil {
+		labels := tsdb.Labels{"node": s.Node.String()}
+		st.stats = make([]*tsdb.Series, len(statsMetricNames))
+		for i, name := range statsMetricNames {
+			st.stats[i] = c.db.Series(name, labels)
+		}
+	}
+	vals := statsValues(&s)
+	for i, h := range st.stats {
+		h.Append(s.TS, vals[i])
 	}
 }
 
@@ -382,7 +441,10 @@ func (c *Collector) ingestHeartbeat(st *nodeState, h wire.Heartbeat) {
 			st.info.Firmware = h.Firmware
 		}
 	}
-	c.db.Append("node_uptime", tsdb.Labels{"node": h.Node.String()}, h.TS, h.UptimeS)
+	if st.uptime == nil {
+		st.uptime = c.db.Series("node_uptime", tsdb.Labels{"node": h.Node.String()})
+	}
+	st.uptime.Append(h.TS, h.UptimeS)
 }
 
 // ParseNodeID parses the canonical "N0001" form (or bare hex/decimal).

@@ -36,7 +36,9 @@ func AblationBatching() Table {
 		Title:   "Ablation: upload batch size vs telemetry wire cost (5-node line, 30 min)",
 		Columns: []string{"max records/batch", "batches acked", "records shipped", "bytes/record"},
 	}
-	for _, batch := range []int{1, 8, 64, 256} {
+	batches := []int{1, 8, 64, 256}
+	rows := Sweep(len(batches), func(i int) []string {
+		batch := batches[i]
 		spec := lineSpec(51, 5)
 		spec.Agent.MaxBatchRecords = batch
 		sys, err := lorameshmon.New(spec)
@@ -57,7 +59,10 @@ func AblationBatching() Table {
 		if recs > 0 {
 			perRec = float64(uplinkBytes(sys)) / float64(recs)
 		}
-		t.AddRow(d(batch), d(acked), d(recs), f1(perRec))
+		return []string{d(batch), d(acked), d(recs), f1(perRec)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Note("batch-of-1 pays the ~40 B envelope per record and throttles throughput to one record per report tick; any real batching removes both costs")
 	return t
@@ -95,10 +100,14 @@ func AblationDropPolicy() Table {
 		late = packetEventsBetween(sys, 20*60, 30*60)
 		return sys.MonitoringCompleteness(), dropped, early, late
 	}
-	cOld, dOld, earlyOld, lateOld := run(false)
-	cNew, dNew, earlyNew, lateNew := run(true)
-	t.AddRow("drop-oldest", pct(cOld), d(dOld), d(earlyOld), d(lateOld))
-	t.AddRow("drop-newest", pct(cNew), d(dNew), d(earlyNew), d(lateNew))
+	labels := []string{"drop-oldest", "drop-newest"}
+	rows := Sweep(len(labels), func(i int) []string {
+		c, dropped, early, late := run(i == 1)
+		return []string{labels[i], pct(c), d(dropped), d(early), d(late)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
 	t.Note("different survivors of the same outage: drop-oldest keeps the fresh tail (live dashboards), drop-newest preserves the oldest history (forensics)")
 	return t
 }
@@ -110,7 +119,9 @@ func AblationCapture() Table {
 		Title:   "Ablation: capture effect on/off under load (9-node grid, random traffic every 20 s, 1 h)",
 		Columns: []string{"capture effect", "PDR", "collided receptions"},
 	}
-	for _, enabled := range []bool{true, false} {
+	modes := []bool{true, false}
+	rows := Sweep(len(modes), func(i int) []string {
+		enabled := modes[i]
 		spec := baseSpec(57, 9)
 		spec.Layout = lorameshmon.Grid
 		spec.SpacingM = 2000
@@ -129,7 +140,10 @@ func AblationCapture() Table {
 		if enabled {
 			label = "on (6 dB)"
 		}
-		t.AddRow(label, pct(dep.PDR()), d(dep.Medium.Stats().Collided))
+		return []string{label, pct(dep.PDR()), d(dep.Medium.Stats().Collided)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Note("capture rescues the stronger frame of a collision, lifting PDR under contention")
 	return t
@@ -143,7 +157,9 @@ func AblationRouteTimeout() Table {
 		Title:   "Ablation: route-timeout factor across a 30-min relay outage (4-node line, traffic every 30 s)",
 		Columns: []string{"timeout factor", "timeout", "PDR", "no-route drops", "stale-route forwards lost"},
 	}
-	for _, factor := range []float64{1.5, 3.5, 7} {
+	factors := []float64{1.5, 3.5, 7}
+	rows := Sweep(len(factors), func(i int) []string {
+		factor := factors[i]
 		spec := lineSpec(59, 4)
 		spec.Mesh.RouteTimeoutFactor = factor
 		spec.Monitor = false
@@ -168,8 +184,11 @@ func AblationRouteTimeout() Table {
 		}
 		totals := dep.AppTotals()
 		staleLost := totals.Enqueued - totals.Received
-		t.AddRow(f1(factor), dep.Spec.Mesh.RouteTimeout().String(), pct(dep.PDR()),
-			d(noRoute+totals.SendErrs), d(staleLost))
+		return []string{f1(factor), dep.Spec.Mesh.RouteTimeout().String(), pct(dep.PDR()),
+			d(noRoute + totals.SendErrs), d(staleLost)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Note("short timeouts turn the outage into visible no-route errors quickly; long timeouts silently feed packets to a dead next hop")
 	return t
@@ -208,10 +227,20 @@ func AblationSNRRouting() Table {
 		}
 		return dep.PDR(), fwd, dep.RouteChurn()
 	}
-	pdrHop, fwdHop, churnHop := run(0)
-	pdrSNR, fwdSNR, churnSNR := run(3)
-	t.AddRow("hop count only", pct(pdrHop), d(fwdHop), d(churnHop))
-	t.AddRow("hop count + 3 dB SNR tiebreak", pct(pdrSNR), d(fwdSNR), d(churnSNR))
+	variants := []struct {
+		label    string
+		tiebreak float64
+	}{
+		{"hop count only", 0},
+		{"hop count + 3 dB SNR tiebreak", 3},
+	}
+	rows := Sweep(len(variants), func(i int) []string {
+		pdr, fwd, churn := run(variants[i].tiebreak)
+		return []string{variants[i].label, pct(pdr), d(fwd), d(churn)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
 	t.Note("the tiebreak nudges PDR up by steering around weak first hops, at the cost of markedly more route churn — a wash on healthy topologies, worthwhile on marginal ones")
 	return t
 }

@@ -148,8 +148,10 @@ func T2UplinkBandwidth() Table {
 	}
 	const n = 10
 	const dur = 30 * time.Minute
-	for _, interval := range []time.Duration{10 * time.Second, 30 * time.Second,
-		60 * time.Second, 120 * time.Second, 300 * time.Second} {
+	intervals := []time.Duration{10 * time.Second, 30 * time.Second,
+		60 * time.Second, 120 * time.Second, 300 * time.Second}
+	rows := Sweep(len(intervals), func(i int) []string {
+		interval := intervals[i]
 		run := func(disableCapture bool) (bytesPerMin, recsPerMin float64) {
 			spec := lineSpec(42, n)
 			spec.SpacingM = 2000 // denser line: more neighbours, more traffic to observe
@@ -169,7 +171,10 @@ func T2UplinkBandwidth() Table {
 		}
 		fullBytes, fullRecs := run(false)
 		liteBytes, _ := run(true)
-		t.AddRow(interval.String(), f1(fullRecs), f1(fullBytes), f1(liteBytes))
+		return []string{interval.String(), f1(fullRecs), f1(fullBytes), f1(liteBytes)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Note("longer report intervals amortise the batch envelope; disabling per-packet capture roughly halves the bandwidth")
 	return t
@@ -199,9 +204,10 @@ func T4OverheadSplit() Table {
 
 	perNodeHour := dur.Hours() * float64(spec.N)
 	airtime := func(typ string) float64 {
-		total := 0.0
-		for _, res := range sys.DB.Query("mesh_airtime_ms", tsdb.Labels{"type": typ}, 0, math.MaxFloat64) {
-			total += tsdb.Aggregate(res.Points, tsdb.AggSum)
+		total := sys.DB.AggregateRange("mesh_airtime_ms", tsdb.Labels{"type": typ},
+			0, math.MaxFloat64, tsdb.AggSum)
+		if math.IsNaN(total) {
+			total = 0
 		}
 		return total / perNodeHour
 	}

@@ -21,7 +21,9 @@ func F1PDRvsSize() Table {
 		Title:   "Mesh PDR vs network size (random geometric, constant density, convergecast every 2 min, 2 h)",
 		Columns: []string{"nodes", "area side (m)", "PDR", "collided rx", "fwd/packet"},
 	}
-	for _, n := range []int{5, 10, 15, 20, 30, 40} {
+	sizes := []int{5, 10, 15, 20, 30, 40}
+	rows := Sweep(len(sizes), func(i int) []string {
+		n := sizes[i]
 		spec := baseSpec(11, n)
 		spec.AreaM = areaForDensity(n)
 		spec.Monitor = false
@@ -43,8 +45,11 @@ func F1PDRvsSize() Table {
 		if totals.Enqueued > 0 {
 			fwdPerPkt = float64(forwarded) / float64(totals.Enqueued)
 		}
-		t.AddRow(d(n), f1(spec.AreaM), pct(dep.PDR()),
-			d(dep.Medium.Stats().Collided), f2(fwdPerPkt))
+		return []string{d(n), f1(spec.AreaM), pct(dep.PDR()),
+			d(dep.Medium.Stats().Collided), f2(fwdPerPkt)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Note("PDR declines with size: collisions start dominating once relaying (fwd/packet) kicks in past ~20 nodes")
 	return t
@@ -107,7 +112,9 @@ func F3Convergence() Table {
 		Title:   "Cold-start routing convergence vs network size (line topology, 60 s hellos)",
 		Columns: []string{"nodes", "diameter (hops)", "convergence (s)", "telemetry-visible (s)"},
 	}
-	for _, n := range []int{2, 4, 6, 8, 10, 12} {
+	sizes := []int{2, 4, 6, 8, 10, 12}
+	rows := Sweep(len(sizes), func(i int) []string {
+		n := sizes[i]
 		spec := lineSpec(17, n)
 		sys, err := lorameshmon.New(spec)
 		if err != nil {
@@ -126,7 +133,10 @@ func F3Convergence() Table {
 		if ts, ok := convergenceVisible(sys, n); ok {
 			visible = f1(ts)
 		}
-		t.AddRow(d(n), d(n-1), conv, visible)
+		return []string{d(n), d(n - 1), conv, visible}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Note("convergence grows with diameter (one hello interval per hop on average); the dashboard lags by up to a stats interval plus upload latency")
 	return t
@@ -165,8 +175,10 @@ func F4Airtime() Table {
 		Title:   "Airtime utilisation vs offered load (9-node grid, EU868 1%, random traffic, 1 h)",
 		Columns: []string{"packet interval", "mean duty cycle", "max duty cycle", "queue-full drops", "PDR"},
 	}
-	for _, interval := range []time.Duration{10 * time.Second, 20 * time.Second,
-		60 * time.Second, 180 * time.Second} {
+	intervals := []time.Duration{10 * time.Second, 20 * time.Second,
+		60 * time.Second, 180 * time.Second}
+	rows := Sweep(len(intervals), func(i int) []string {
+		interval := intervals[i]
 		spec := baseSpec(19, 9)
 		spec.Layout = lorameshmon.Grid
 		spec.SpacingM = 2000
@@ -191,8 +203,11 @@ func F4Airtime() Table {
 			}
 			qdrops += nd.Router().Counters().DropQueueFull
 		}
-		t.AddRow(interval.String(), f3(sum/float64(len(dep.Nodes))), f3(max),
-			d(qdrops), pct(dep.PDR()))
+		return []string{interval.String(), f3(sum / float64(len(dep.Nodes))), f3(max),
+			d(qdrops), pct(dep.PDR())}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Note("utilisation saturates at the 1%% regulatory ceiling; the CSMA queue absorbs the excess until it overflows and PDR degrades")
 	return t
@@ -223,8 +238,13 @@ func F5Completeness() Table {
 		sys.RunFor(time.Hour)
 		return sys.MonitoringCompleteness()
 	}
-	for _, loss := range []float64{0, 0.1, 0.2, 0.3, 0.5} {
-		t.AddRow(pct(loss), pct(run(loss, false)), pct(run(loss, true)))
+	losses := []float64{0, 0.1, 0.2, 0.3, 0.5}
+	rows := Sweep(len(losses), func(i int) []string {
+		loss := losses[i]
+		return []string{pct(loss), pct(run(loss, false)), pct(run(loss, true))}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Note("buffered retries recover nearly everything; fire-and-forget loses roughly the uplink loss rate")
 	return t
@@ -267,8 +287,10 @@ func T3FailureDetection() Table {
 		Title:   "Node-failure detection latency vs heartbeat interval (timeout = 3 intervals, checks every 5 s)",
 		Columns: []string{"heartbeat interval", "timeout", "detection latency (s)", "latency/interval"},
 	}
-	for _, hb := range []time.Duration{10 * time.Second, 30 * time.Second,
-		60 * time.Second, 120 * time.Second} {
+	hbs := []time.Duration{10 * time.Second, 30 * time.Second,
+		60 * time.Second, 120 * time.Second}
+	rows := Sweep(len(hbs), func(i int) []string {
+		hb := hbs[i]
 		spec := lineSpec(31, 3)
 		spec.Agent.HeartbeatInterval = hb
 		timeout := 3 * hb
@@ -292,10 +314,12 @@ func T3FailureDetection() Table {
 			}
 		}
 		if math.IsNaN(latency) {
-			t.AddRow(hb.String(), timeout.String(), "not detected", "-")
-			continue
+			return []string{hb.String(), timeout.String(), "not detected", "-"}
 		}
-		t.AddRow(hb.String(), timeout.String(), f1(latency), f2(latency/hb.Seconds()))
+		return []string{hb.String(), timeout.String(), f1(latency), f2(latency / hb.Seconds())}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Note("latency is the timeout minus the age of the last heartbeat at death (~2 intervals on average) plus the check cadence")
 	return t
@@ -351,11 +375,15 @@ func F8MeshVsStar() Table {
 	ch := phy.DefaultChannel()
 	ch.ShadowingSigmaDB = 0
 	rangeM := ch.MaxRangeM(phy.DefaultParams())
-	for _, frac := range []float64{0.5, 0.8, 1.2, 1.6, 2.4, 3.2} {
-		dist := frac * rangeM
+	fracs := []float64{0.5, 0.8, 1.2, 1.6, 2.4, 3.2}
+	rows := Sweep(len(fracs), func(i int) []string {
+		dist := fracs[i] * rangeM
 		star := starPDR(41, dist)
 		meshPDR, hops := meshChainPDR(43, dist, rangeM)
-		t.AddRow(f1(frac), pct(star), pct(meshPDR), d(hops))
+		return []string{f1(fracs[i]), pct(star), pct(meshPDR), d(hops)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Note("the star collapses right past nominal range; the mesh sustains delivery by relaying, which is exactly why mesh-specific monitoring is needed")
 	return t

@@ -57,7 +57,9 @@ func F10Mobility() Table {
 		Title:   "Mobility: PDR and route churn vs node speed (12 nodes, sparse 6 km area, sink pinned, 2 h)",
 		Columns: []string{"speed (m/s)", "PDR", "route changes/node/h", "route evictions", "no-route drops"},
 	}
-	for _, speed := range []float64{0, 2, 5, 10} {
+	speeds := []float64{0, 2, 5, 10}
+	rows := Sweep(len(speeds), func(i int) []string {
+		speed := speeds[i]
 		// Sparse area (~1.6x the nominal range per side): multi-hop paths
 		// are mandatory, so stale routes actually cost deliveries.
 		spec := baseSpec(67, 12)
@@ -88,7 +90,10 @@ func F10Mobility() Table {
 		}
 		totals := dep.AppTotals()
 		churn := float64(dep.RouteChurn()) / dur.Hours() / float64(spec.N)
-		t.AddRow(f1(speed), pct(dep.PDR()), f1(churn), d(evicted), d(noRoute+totals.SendErrs))
+		return []string{f1(speed), pct(dep.PDR()), f1(churn), d(evicted), d(noRoute + totals.SendErrs)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Note("two effects: static placement pins unlucky cell-edge nodes forever (flapping links, lowest PDR), slow mobility averages positions out — but past walking speed stale routes multiply and PDR declines again")
 	return t
@@ -107,13 +112,17 @@ func F11StarADR() Table {
 	ch.ShadowingSigmaDB = 0
 	base := phy.DefaultParams()
 	rangeM := ch.MaxRangeM(base)
-	for _, frac := range []float64{0.8, 1.2, 1.6, 2.4, 3.2} {
-		dist := frac * rangeM
+	fracs := []float64{0.8, 1.2, 1.6, 2.4, 3.2}
+	rows := Sweep(len(fracs), func(i int) []string {
+		dist := fracs[i] * rangeM
 		fixed := starPDR(41, dist)
 		sf, _ := ch.MinSpreadingFactor(base, dist, 3)
 		adr := starADRPDR(45, dist, sf)
 		meshPDR, _ := meshChainPDR(43, dist, rangeM)
-		t.AddRow(f1(frac), pct(fixed), sf.String(), pct(adr), pct(meshPDR))
+		return []string{f1(fracs[i]), pct(fixed), sf.String(), pct(adr), pct(meshPDR)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Note("ADR extends the star out to the SF12 cell edge (~2.6x) at the cost of 16x airtime; only the mesh keeps delivering beyond it")
 	return t
@@ -156,12 +165,14 @@ func F12LargeTransfers() Table {
 		Title:   "Large-transfer completion time under EU868 (fragmentation + selective retransmit)",
 		Columns: []string{"payload", "hops", "completion", "fragments", "retransmitted"},
 	}
-	for _, tc := range []struct {
+	cases := []struct {
 		bytes int
 		hops  int
 	}{
 		{1024, 1}, {1024, 3}, {4096, 1}, {4096, 3}, {8192, 3},
-	} {
+	}
+	rows := Sweep(len(cases), func(i int) []string {
+		tc := cases[i]
 		spec := lineSpec(83, tc.hops+1)
 		spec.Monitor = false
 		dep, err := buildDep(spec)
@@ -189,8 +200,11 @@ func F12LargeTransfers() Table {
 		if status == "delivered" {
 			completion = done.Sub(start).Round(time.Second).String()
 		}
-		t.AddRow(fmt.Sprintf("%d B", tc.bytes), d(tc.hops), completion,
-			d(fc.FragSent), d(fc.FragRetrans))
+		return []string{fmt.Sprintf("%d B", tc.bytes), d(tc.hops), completion,
+			d(fc.FragSent), d(fc.FragRetrans)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Note("the 1%% duty cycle dominates: ~33 s of enforced silence per 200 B fragment per hop puts kilobyte transfers in the tens of minutes — why LoRa meshes ship telemetry out of band")
 	return t

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiments are embarrassingly parallel at the sweep-point level:
+// every point builds its own Sim from its own seed, so points share no
+// mutable state and each one is deterministic in isolation. Sweep
+// exploits that by fanning the points out over a bounded worker pool and
+// joining the results in index order, which makes a parallel run produce
+// byte-identical tables to a sequential one — the rows are formatted per
+// point and only assembled after the join.
+
+// sweepParallelism overrides the worker bound when positive; zero means
+// "use GOMAXPROCS".
+var sweepParallelism atomic.Int64
+
+// Parallelism reports the current sweep worker bound.
+func Parallelism() int {
+	if p := sweepParallelism.Load(); p > 0 {
+		return int(p)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetParallelism bounds the number of concurrent sweep points (and, via
+// cmd/meshmon-experiments -parallel, concurrent tables). p <= 0 restores
+// the default GOMAXPROCS bound. It applies to Sweep calls that start
+// after it returns.
+func SetParallelism(p int) {
+	if p < 0 {
+		p = 0
+	}
+	sweepParallelism.Store(int64(p))
+}
+
+// Sweep evaluates fn(0..n-1) with at most Parallelism() points in
+// flight and returns the results in index order. fn must be safe to
+// call concurrently with itself — true for experiment points, which
+// each construct a private Sim. With a bound of 1 (or n == 1) it
+// degenerates to the plain sequential loop. If any point panics, Sweep
+// stops handing out new points, waits for in-flight points, and
+// re-panics the first failure on the caller's goroutine.
+func Sweep[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	p := Parallelism()
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		panicMu  sync.Mutex
+		panicVal any
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicVal == nil {
+								panicVal = r
+							}
+							panicMu.Unlock()
+							failed.Store(true)
+						}
+					}()
+					out[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	return out
+}

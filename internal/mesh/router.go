@@ -379,7 +379,7 @@ func (r *Router) schedulePump(d time.Duration) {
 		return
 	}
 	r.pumpArm = true
-	r.sim.After(d, func() {
+	r.sim.Do(d, func() {
 		r.pumpArm = false
 		r.pump()
 	})

@@ -283,9 +283,9 @@ func (m *Medium) transmit(r *Radio, frame Frame) (time.Duration, error) {
 			continue
 		}
 		rx := rx
-		m.sim.At(t.end, func() { m.deliver(t, rx) })
+		m.sim.DoAt(t.end, func() { m.deliver(t, rx) })
 	}
-	m.sim.At(t.end, func() { m.prune(t) })
+	m.sim.DoAt(t.end, func() { m.prune(t) })
 	return airtime, nil
 }
 

@@ -42,11 +42,19 @@ type Event struct {
 	fn      func()
 	index   int // heap index, -1 when not queued
 	stopped bool
+	sim     *Sim
+	// recycled marks events created by Do/DoAt: no handle escapes to the
+	// caller, so the object returns to the simulator's free list after it
+	// fires. Handle-returning events (At/After) are never recycled — a
+	// retained *Event must stay valid to Stop at any later time.
+	recycled bool
 }
 
-// Stop cancels the event if it has not yet fired. It reports whether the
-// event was still pending. Stopping an already-fired or already-stopped
-// event is a harmless no-op.
+// Stop cancels the event if it has not yet fired, removing it from the
+// queue immediately so long runs with many cancelled timers do not
+// accumulate dead entries in the heap. It reports whether the event was
+// still pending. Stopping an already-fired or already-stopped event is a
+// harmless no-op.
 func (e *Event) Stop() bool {
 	if e == nil || e.stopped || e.index < 0 {
 		if e != nil {
@@ -55,6 +63,7 @@ func (e *Event) Stop() bool {
 		return false
 	}
 	e.stopped = true
+	heap.Remove(&e.sim.queue, e.index)
 	return true
 }
 
@@ -92,6 +101,8 @@ func (q *eventQueue) Pop() any {
 
 // Sim is a deterministic discrete-event simulator. It is not safe for
 // concurrent use: the entire simulation runs on the caller's goroutine.
+// Distinct Sim instances are fully independent, so independent runs may
+// execute on separate goroutines concurrently.
 type Sim struct {
 	now    Time
 	queue  eventQueue
@@ -100,7 +111,12 @@ type Sim struct {
 	seed   int64
 	fired  uint64
 	halted bool
+	free   []*Event // recycled fire-and-forget events (Do/DoAt)
 }
+
+// maxFree bounds the free list so a burst of events does not pin memory
+// for the rest of the run.
+const maxFree = 4096
 
 // New returns a simulator whose random source is seeded with seed.
 // The same seed always yields the same execution.
@@ -123,16 +139,44 @@ func (s *Sim) EventsFired() uint64 { return s.fired }
 // Pending returns the number of events still queued.
 func (s *Sim) Pending() int { return len(s.queue) }
 
-// At schedules fn to run at the absolute virtual time at. Scheduling in
-// the past (before Now) panics: it would silently reorder causality.
-func (s *Sim) At(at Time, fn func()) *Event {
+// schedule queues fn at the absolute time at. Recycled events are drawn
+// from the free list; handle events are always freshly allocated.
+func (s *Sim) schedule(at Time, fn func(), recycled bool) *Event {
 	if at < s.now {
 		panic(fmt.Sprintf("simkit: scheduling at %v before now %v", at, s.now))
 	}
-	e := &Event{at: at, seq: s.seq, fn: fn, index: -1}
+	var e *Event
+	if recycled && len(s.free) > 0 {
+		e = s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+	} else {
+		e = &Event{}
+	}
+	e.at, e.seq, e.fn = at, s.seq, fn
+	e.index, e.stopped = -1, false
+	e.sim, e.recycled = s, recycled
 	s.seq++
 	heap.Push(&s.queue, e)
 	return e
+}
+
+// release returns a fired Do/DoAt event to the free list. Handle events
+// are left to the garbage collector: the caller may still hold the
+// pointer and Stop it later, so the object must never be reused.
+func (s *Sim) release(e *Event) {
+	if !e.recycled {
+		return
+	}
+	e.fn = nil
+	if len(s.free) < maxFree {
+		s.free = append(s.free, e)
+	}
+}
+
+// At schedules fn to run at the absolute virtual time at. Scheduling in
+// the past (before Now) panics: it would silently reorder causality.
+func (s *Sim) At(at Time, fn func()) *Event {
+	return s.schedule(at, fn, false)
 }
 
 // After schedules fn to run d after the current time. Negative d is
@@ -142,6 +186,23 @@ func (s *Sim) After(d Duration, fn func()) *Event {
 		d = 0
 	}
 	return s.At(s.now.Add(d), fn)
+}
+
+// DoAt schedules fn at the absolute time at, fire-and-forget: no handle
+// is returned, which lets the kernel recycle the event object through a
+// free list instead of allocating one per callback. Use it for the vast
+// majority of events that are never cancelled; use At/After when the
+// caller needs Stop.
+func (s *Sim) DoAt(at Time, fn func()) {
+	s.schedule(at, fn, true)
+}
+
+// Do is DoAt(Now+d) with negative d clamped to zero.
+func (s *Sim) Do(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.DoAt(s.now.Add(d), fn)
 }
 
 // Every schedules fn to run every interval, starting one interval from
@@ -167,11 +228,17 @@ func (s *Sim) step() bool {
 	for len(s.queue) > 0 {
 		e := heap.Pop(&s.queue).(*Event)
 		if e.stopped {
+			// Stop removes events eagerly, so this is only a safety net.
+			s.release(e)
 			continue
 		}
 		s.now = e.at
 		s.fired++
-		e.fn()
+		fn := e.fn
+		// Recycle before running fn: nothing references a Do/DoAt event,
+		// so fn may immediately reuse the object for a new schedule.
+		s.release(e)
+		fn()
 		return true
 	}
 	return false
@@ -211,10 +278,8 @@ func (s *Sim) RunUntil(deadline Time) Time {
 func (s *Sim) RunFor(d Duration) Time { return s.RunUntil(s.now.Add(d)) }
 
 func (s *Sim) peek() *Event {
-	// The heap may hold stopped events at the root; skip them lazily.
-	for len(s.queue) > 0 && s.queue[0].stopped {
-		heap.Pop(&s.queue)
-	}
+	// Stop removes events from the heap eagerly, so the root (if any) is
+	// always live.
 	if len(s.queue) == 0 {
 		return nil
 	}

@@ -294,3 +294,111 @@ func TestPropertyStopInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStopRemovesEventFromQueue(t *testing.T) {
+	s := New(1)
+	ev := s.After(time.Second, func() { t.Error("stopped event fired") })
+	s.After(2*time.Second, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", s.Pending())
+	}
+	if !ev.Stop() {
+		t.Fatal("Stop on pending event reported false")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending after Stop = %d, want 1 (stopped event must leave the heap immediately)", s.Pending())
+	}
+	s.Run()
+}
+
+func TestStopMiddleOfQueuePreservesOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	events := make([]*Event, 8)
+	for i := range events {
+		i := i
+		events[i] = s.After(time.Duration(i+1)*time.Second, func() { order = append(order, i) })
+	}
+	events[3].Stop()
+	events[5].Stop()
+	s.Run()
+	want := []int{0, 1, 2, 4, 6, 7}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDoFiresInTimestampOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.Do(3*time.Second, func() { order = append(order, 3) })
+	s.DoAt(Time(time.Second), func() { order = append(order, 1) })
+	s.Do(2*time.Second, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestDoReschedulingFromCallback(t *testing.T) {
+	// A Do callback that schedules another Do may reuse the very event
+	// object that is firing; the chain must still run to completion.
+	s := New(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			s.Do(time.Second, tick)
+		}
+	}
+	s.Do(time.Second, tick)
+	end := s.Run()
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+	if end != Time(100*time.Second) {
+		t.Fatalf("end = %v, want 100s", end)
+	}
+}
+
+func TestDoRecyclesEventObjects(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	// Warm up the free list and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		s.Do(0, fn)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Do(0, fn)
+		s.Run()
+	})
+	if allocs >= 1 {
+		t.Fatalf("Do allocates %.1f objects per event, want 0 (free-list reuse)", allocs)
+	}
+}
+
+func TestMixedDoAndHandleEvents(t *testing.T) {
+	// Handle events interleaved with recycled ones: stopping a handle
+	// must never disturb a recycled event occupying a different slot.
+	s := New(1)
+	fired := 0
+	for i := 0; i < 50; i++ {
+		d := time.Duration(i+1) * time.Second
+		s.Do(d, func() { fired++ })
+		ev := s.After(d, func() { fired++ })
+		if i%2 == 0 {
+			ev.Stop()
+		}
+	}
+	s.Run()
+	if fired != 50+25 {
+		t.Fatalf("fired = %d, want 75", fired)
+	}
+}

@@ -76,9 +76,13 @@ type series struct {
 	labels Labels
 	points []Point
 	sorted bool
+	// dead marks a series removed from the index by Prune; cached Series
+	// handles revalidate against it before appending.
+	dead bool
 }
 
-// sortPoints restores time order after out-of-order appends.
+// sortPoints restores time order after out-of-order appends. It mutates
+// the series and therefore requires the store's write lock.
 func (s *series) sortPoints() {
 	if s.sorted {
 		return
@@ -87,11 +91,18 @@ func (s *series) sortPoints() {
 	s.sorted = true
 }
 
-// rangePoints returns the points with from <= TS <= to.
+// rangeIndices returns the half-open index window of points with
+// from <= TS <= to. The series must already be sorted.
+func (s *series) rangeIndices(from, to float64) (lo, hi int) {
+	lo = sort.Search(len(s.points), func(i int) bool { return s.points[i].TS >= from })
+	hi = sort.Search(len(s.points), func(i int) bool { return s.points[i].TS > to })
+	return lo, hi
+}
+
+// rangePoints copies out the points with from <= TS <= to. The series
+// must already be sorted (see DB.readLock).
 func (s *series) rangePoints(from, to float64) []Point {
-	s.sortPoints()
-	lo := sort.Search(len(s.points), func(i int) bool { return s.points[i].TS >= from })
-	hi := sort.Search(len(s.points), func(i int) bool { return s.points[i].TS > to })
+	lo, hi := s.rangeIndices(from, to)
 	out := make([]Point, hi-lo)
 	copy(out, s.points[lo:hi])
 	return out
@@ -109,10 +120,9 @@ func New() *DB {
 	return &DB{metrics: make(map[string]map[string]*series)}
 }
 
-// Append adds a sample to the series (name, labels).
-func (db *DB) Append(name string, labels Labels, ts, value float64) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+// getOrCreateLocked returns the series for (name, labels), creating it
+// if missing. Callers must hold the write lock.
+func (db *DB) getOrCreateLocked(name string, labels Labels) *series {
 	byLabels, ok := db.metrics[name]
 	if !ok {
 		byLabels = make(map[string]*series)
@@ -124,11 +134,88 @@ func (db *DB) Append(name string, labels Labels, ts, value float64) {
 		s = &series{labels: labels.clone(), sorted: true}
 		byLabels[key] = s
 	}
+	return s
+}
+
+// appendLocked adds one sample to s. Callers must hold the write lock.
+func (db *DB) appendLocked(s *series, ts, value float64) {
 	if s.sorted && len(s.points) > 0 && ts < s.points[len(s.points)-1].TS {
 		s.sorted = false
 	}
 	s.points = append(s.points, Point{TS: ts, Value: value})
 	db.points++
+}
+
+// Append adds a sample to the series (name, labels).
+func (db *DB) Append(name string, labels Labels, ts, value float64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.appendLocked(db.getOrCreateLocked(name, labels), ts, value)
+}
+
+// Series is a cached handle to one exact (metric, labels) series: the
+// canonical label key is computed once, so hot ingest paths appending to
+// the same series thousands of times skip the per-call sorting and
+// string building. Handles stay valid across Prune — a pruned-away
+// series is transparently re-registered on the next Append.
+type Series struct {
+	db     *DB
+	name   string
+	labels Labels
+	s      *series
+}
+
+// Series returns a cached append handle for the exact series
+// (name, labels), creating the series if it does not exist yet.
+func (db *DB) Series(name string, labels Labels) *Series {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return &Series{db: db, name: name, labels: labels.clone(), s: db.getOrCreateLocked(name, labels)}
+}
+
+// Append adds a sample to the handle's series.
+func (h *Series) Append(ts, value float64) {
+	db := h.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if h.s.dead {
+		h.s = db.getOrCreateLocked(h.name, h.labels)
+	}
+	db.appendLocked(h.s, ts, value)
+}
+
+// Labels returns the handle's label set (a copy).
+func (h *Series) Labels() Labels { return h.labels.clone() }
+
+// readLock acquires the store's read lock with every series of the
+// metric in sorted order, so range queries can binary-search without
+// mutating. Out-of-order appends are rare; the common case is a plain
+// RLock, letting dashboard reads proceed concurrently with collector
+// ingest. Callers must mu.RUnlock when done.
+func (db *DB) readLock(name string) {
+	db.mu.RLock()
+	for db.unsortedLocked(name) {
+		db.mu.RUnlock()
+		db.mu.Lock()
+		for _, s := range db.metrics[name] {
+			s.sortPoints()
+		}
+		db.mu.Unlock()
+		// Re-check under RLock: a concurrent out-of-order Append may have
+		// unsorted a series between the Unlock and the RLock.
+		db.mu.RLock()
+	}
+}
+
+// unsortedLocked reports whether any series of the metric needs sorting.
+// Callers must hold at least the read lock.
+func (db *DB) unsortedLocked(name string) bool {
+	for _, s := range db.metrics[name] {
+		if !s.sorted {
+			return true
+		}
+	}
+	return false
 }
 
 // Result is one matched series with its points in time order.
@@ -138,10 +225,12 @@ type Result struct {
 }
 
 // Query returns every series of the metric whose labels contain matcher,
-// restricted to from <= TS <= to, sorted by canonical label string.
+// restricted to from <= TS <= to, sorted by canonical label string. It
+// holds only the read lock in the common (time-ordered) case, so
+// dashboard reads do not serialize against collector ingest.
 func (db *DB) Query(name string, matcher Labels, from, to float64) []Result {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.readLock(name)
+	defer db.mu.RUnlock()
 	byLabels := db.metrics[name]
 	keys := make([]string, 0, len(byLabels))
 	for k, s := range byLabels {
@@ -161,8 +250,8 @@ func (db *DB) Query(name string, matcher Labels, from, to float64) []Result {
 // QueryOne returns the single series matching exactly (name, labels), or
 // false when it does not exist.
 func (db *DB) QueryOne(name string, labels Labels, from, to float64) (Result, bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.readLock(name)
+	defer db.mu.RUnlock()
 	s, ok := db.metrics[name][labels.canonical()]
 	if !ok {
 		return Result{}, false
@@ -172,14 +261,74 @@ func (db *DB) QueryOne(name string, labels Labels, from, to float64) (Result, bo
 
 // Latest returns the most recent sample of the exact series.
 func (db *DB) Latest(name string, labels Labels) (Point, bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.readLock(name)
+	defer db.mu.RUnlock()
 	s, ok := db.metrics[name][labels.canonical()]
 	if !ok || len(s.points) == 0 {
 		return Point{}, false
 	}
-	s.sortPoints()
 	return s.points[len(s.points)-1], true
+}
+
+// AggregateRange folds every point of the metric's matched series in
+// [from, to] into a single value without materialising a copy of the
+// point slices — the aggregate-pushdown fast path for "sum this metric
+// over a window" style queries. Matched series are folded in canonical
+// label order so floating-point results are deterministic. NaN is
+// returned when no point matches (count returns 0).
+func (db *DB) AggregateRange(name string, matcher Labels, from, to float64, agg Agg) float64 {
+	db.readLock(name)
+	defer db.mu.RUnlock()
+	byLabels := db.metrics[name]
+	keys := make([]string, 0, len(byLabels))
+	for k, s := range byLabels {
+		if s.labels.matches(matcher) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	n := 0
+	sum := 0.0
+	min, max := math.Inf(1), math.Inf(-1)
+	last, lastTS := 0.0, math.Inf(-1)
+	for _, k := range keys {
+		s := byLabels[k]
+		lo, hi := s.rangeIndices(from, to)
+		for _, p := range s.points[lo:hi] {
+			sum += p.Value
+			if p.Value < min {
+				min = p.Value
+			}
+			if p.Value > max {
+				max = p.Value
+			}
+			if p.TS >= lastTS {
+				last, lastTS = p.Value, p.TS
+			}
+		}
+		n += hi - lo
+	}
+	if agg == AggCount {
+		return float64(n)
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	switch agg {
+	case AggSum:
+		return sum
+	case AggAvg:
+		return sum / float64(n)
+	case AggMin:
+		return min
+	case AggMax:
+		return max
+	case AggLast:
+		return last
+	default:
+		panic(fmt.Sprintf("tsdb: unknown aggregation %q", agg))
+	}
 }
 
 // MetricNames returns all metric names, sorted.
@@ -228,6 +377,7 @@ func (db *DB) Prune(before float64) int {
 			dropped += cut
 			s.points = append([]Point(nil), s.points[cut:]...)
 			if len(s.points) == 0 {
+				s.dead = true // cached Series handles re-register on next Append
 				delete(byLabels, key)
 			}
 		}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestAppendAndQueryOne(t *testing.T) {
@@ -286,4 +287,141 @@ func TestLabelsCanonicalAndString(t *testing.T) {
 	if (Labels{}).canonical() != "" {
 		t.Fatal("empty labels canonical not empty")
 	}
+}
+
+func TestAggregateRangeMatchesQueryPlusAggregate(t *testing.T) {
+	db := New()
+	for s := 0; s < 4; s++ {
+		lbl := Labels{"node": string(rune('A' + s)), "kind": "x"}
+		for i := 0; i < 50; i++ {
+			db.Append("m", lbl, float64(i), float64((i*7+s)%13)-3)
+		}
+	}
+	for _, agg := range []Agg{AggSum, AggAvg, AggMin, AggMax, AggCount, AggLast} {
+		var all []Point
+		for _, res := range db.Query("m", Labels{"kind": "x"}, 10, 40) {
+			all = append(all, res.Points...)
+		}
+		want := Aggregate(all, agg)
+		got := db.AggregateRange("m", Labels{"kind": "x"}, 10, 40, agg)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("%s: AggregateRange = %v, Query+Aggregate = %v", agg, got, want)
+		}
+	}
+}
+
+func TestAggregateRangeEmpty(t *testing.T) {
+	db := New()
+	if got := db.AggregateRange("missing", nil, 0, 1, AggCount); got != 0 {
+		t.Fatalf("count on empty = %v, want 0", got)
+	}
+	if got := db.AggregateRange("missing", nil, 0, 1, AggSum); !math.IsNaN(got) {
+		t.Fatalf("sum on empty = %v, want NaN", got)
+	}
+}
+
+func TestAggregateRangeLastAcrossSeries(t *testing.T) {
+	db := New()
+	db.Append("m", Labels{"node": "A"}, 1, 10)
+	db.Append("m", Labels{"node": "B"}, 5, 20) // newest overall
+	db.Append("m", Labels{"node": "A"}, 3, 30)
+	if got := db.AggregateRange("m", nil, 0, 10, AggLast); got != 20 {
+		t.Fatalf("last = %v, want 20 (the newest point across matched series)", got)
+	}
+}
+
+func TestSeriesHandleAppend(t *testing.T) {
+	db := New()
+	h := db.Series("m", Labels{"node": "A"})
+	for i := 0; i < 10; i++ {
+		h.Append(float64(i), float64(i*i))
+	}
+	res, ok := db.QueryOne("m", Labels{"node": "A"}, 0, 100)
+	if !ok || len(res.Points) != 10 {
+		t.Fatalf("handle appends not visible: ok=%v points=%d", ok, len(res.Points))
+	}
+	if db.PointCount() != 10 {
+		t.Fatalf("PointCount = %d, want 10", db.PointCount())
+	}
+	// Out-of-order via handle must still be sorted on read.
+	h.Append(2.5, 99)
+	res, _ = db.QueryOne("m", Labels{"node": "A"}, 2, 3)
+	if len(res.Points) != 3 || res.Points[1].Value != 99 {
+		t.Fatalf("out-of-order handle append not sorted: %v", res.Points)
+	}
+}
+
+func TestSeriesHandleSurvivesPrune(t *testing.T) {
+	db := New()
+	h := db.Series("m", Labels{"node": "A"})
+	h.Append(1, 1)
+	if n := db.Prune(10); n != 1 {
+		t.Fatalf("pruned %d, want 1", n)
+	}
+	if db.SeriesCount() != 0 {
+		t.Fatalf("series not removed by prune")
+	}
+	h.Append(20, 2) // must transparently re-register
+	res, ok := db.QueryOne("m", Labels{"node": "A"}, 0, 100)
+	if !ok || len(res.Points) != 1 || res.Points[0].Value != 2 {
+		t.Fatalf("append after prune lost: ok=%v res=%v", ok, res.Points)
+	}
+}
+
+// TestConcurrentReadWrite exercises the RLock read path against
+// concurrent ingest (including out-of-order appends that force the sort
+// upgrade) — run under -race, this is the regression test for readers
+// serializing against writers.
+func TestConcurrentReadWrite(t *testing.T) {
+	db := New()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lbl := Labels{"node": string(rune('A' + w))}
+			h := db.Series("m", lbl)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ts := float64(i)
+				if i%17 == 0 {
+					ts -= 5 // out of order: exercises the sort upgrade
+				}
+				if i%3 == 0 {
+					h.Append(ts, float64(i))
+				} else {
+					db.Append("m", lbl, ts, float64(i))
+				}
+			}
+		}()
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				db.Query("m", nil, 0, 1e9)
+				db.QueryOne("m", Labels{"node": "A"}, 0, 1e9)
+				db.Latest("m", Labels{"node": "B"})
+				db.AggregateRange("m", nil, 0, 1e9, AggSum)
+				if i%50 == 0 {
+					db.Prune(1)
+				}
+			}
+		}()
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
 }

@@ -100,8 +100,8 @@ func (u *Sim) Down() bool { return u.down }
 
 // ScheduleOutage takes the link down at start for the given duration.
 func (u *Sim) ScheduleOutage(start simkit.Time, d time.Duration) {
-	u.sim.At(start, func() { u.SetDown(true) })
-	u.sim.At(start.Add(d), func() { u.SetDown(false) })
+	u.sim.DoAt(start, func() { u.SetDown(true) })
+	u.sim.DoAt(start.Add(d), func() { u.SetDown(false) })
 }
 
 // Send implements Uplink. The outcome callback fires after the modelled
@@ -132,10 +132,10 @@ func (u *Sim) Send(batch wire.Batch, done func(err error)) {
 		u.stats.Lost++
 		// The sender learns about the loss only after a timeout-like
 		// delay, as a real HTTP client would.
-		u.sim.After(delay+u.cfg.LatencyMax, func() { done(ErrLost) })
+		u.sim.Do(delay+u.cfg.LatencyMax, func() { done(ErrLost) })
 		return
 	}
-	u.sim.After(delay, func() {
+	u.sim.Do(delay, func() {
 		if u.down {
 			// Outage began while in flight.
 			u.stats.Lost++
@@ -163,5 +163,5 @@ func (u *Sim) latency() time.Duration {
 // finish defers the callback one event so Send never calls done
 // synchronously (callers hold state across the call).
 func (u *Sim) finish(done func(error), err error) {
-	u.sim.After(0, func() { done(err) })
+	u.sim.Do(0, func() { done(err) })
 }

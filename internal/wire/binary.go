@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Compact binary codec for Batch — the bandwidth-lean alternative to the
@@ -146,13 +147,23 @@ const (
 	flagForUs = 1 << 0
 )
 
+// binWriters recycles encode scratch space for sizing calls, where the
+// encoding is measured and thrown away.
+var binWriters = sync.Pool{New: func() any { return new(binWriter) }}
+
 // EncodeBatchBinary validates and serialises a batch in the compact
-// binary format.
+// binary format. The returned slice is owned by the caller.
 func EncodeBatchBinary(b Batch) ([]byte, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
 	w := &binWriter{buf: make([]byte, 0, 64+40*b.Len())}
+	w.encode(b)
+	return w.buf, nil
+}
+
+// encode appends the batch's binary image to the writer.
+func (w *binWriter) encode(b Batch) {
 	w.u8(binMagic0)
 	w.u8(binMagic1)
 	w.u8(binVersion)
@@ -208,7 +219,8 @@ func EncodeBatchBinary(b Batch) ([]byte, error) {
 	for _, s := range b.Stats {
 		w.f64(s.TS)
 		w.f32(s.UptimeS)
-		for _, v := range s.counterFields() {
+		counters := s.counterFields()
+		for _, v := range counters {
 			w.uvarint(v)
 		}
 		w.uvarint(uint64(s.RouteCount))
@@ -221,12 +233,15 @@ func EncodeBatchBinary(b Batch) ([]byte, error) {
 		w.f32(h.UptimeS)
 		w.str(h.Firmware)
 	}
-	return w.buf, nil
 }
 
-// counterFields lists the NodeStats counters in their wire order.
-func (s *NodeStats) counterFields() []uint64 {
-	return []uint64{
+// numCounterFields is the length of counterFields.
+const numCounterFields = 19
+
+// counterFields lists the NodeStats counters in their wire order. The
+// fixed-size array stays on the stack.
+func (s *NodeStats) counterFields() [numCounterFields]uint64 {
+	return [numCounterFields]uint64{
 		s.HelloSent, s.DataSent, s.AckSent, s.Forwarded,
 		s.HelloRecv, s.DataRecv, s.AckRecv, s.Overheard,
 		s.Delivered, s.DupSuppressed,
@@ -237,7 +252,7 @@ func (s *NodeStats) counterFields() []uint64 {
 }
 
 // setCounterFields is the decode-side inverse of counterFields.
-func (s *NodeStats) setCounterFields(vs []uint64) {
+func (s *NodeStats) setCounterFields(vs [numCounterFields]uint64) {
 	s.HelloSent, s.DataSent, s.AckSent, s.Forwarded = vs[0], vs[1], vs[2], vs[3]
 	s.HelloRecv, s.DataRecv, s.AckRecv, s.Overheard = vs[4], vs[5], vs[6], vs[7]
 	s.Delivered, s.DupSuppressed = vs[8], vs[9]
@@ -245,9 +260,6 @@ func (s *NodeStats) setCounterFields(vs []uint64) {
 	s.RetriesSpent, s.SendFailures = vs[14], vs[15]
 	s.DutyBlocked, s.RxMissWeak, s.RxMissCollided = vs[16], vs[17], vs[18]
 }
-
-// numCounterFields is the length of counterFields.
-var numCounterFields = len((&NodeStats{}).counterFields())
 
 // IsBinaryBatch reports whether data starts with the binary magic.
 func IsBinaryBatch(data []byte) bool {
@@ -335,7 +347,7 @@ func DecodeBatchBinary(data []byte) (Batch, error) {
 		s.Node = b.Node
 		s.TS = r.f64()
 		s.UptimeS = r.f32()
-		vs := make([]uint64, numCounterFields)
+		var vs [numCounterFields]uint64
 		for j := range vs {
 			vs[j] = r.uvarint()
 		}
@@ -366,11 +378,16 @@ func DecodeBatchBinary(data []byte) (Batch, error) {
 	return b, nil
 }
 
-// EncodedSizeBinary returns the binary-encoded size of the batch.
+// EncodedSizeBinary returns the binary-encoded size of the batch,
+// encoding into a pooled scratch buffer so sizing allocates nothing.
 func EncodedSizeBinary(b Batch) (int, error) {
-	data, err := EncodeBatchBinary(b)
-	if err != nil {
+	if err := b.Validate(); err != nil {
 		return 0, err
 	}
-	return len(data), nil
+	w := binWriters.Get().(*binWriter)
+	w.encode(b)
+	n := len(w.buf)
+	w.buf = w.buf[:0]
+	binWriters.Put(w)
+	return n, nil
 }

@@ -12,9 +12,11 @@
 package wire
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // NodeID is a mesh node address (16-bit, LoRaMesher-style).
@@ -264,12 +266,27 @@ func DecodeBatch(data []byte) (Batch, error) {
 	return b, nil
 }
 
+// jsonSizeBufs recycles the scratch buffers EncodedSize marshals into:
+// the simulated uplink sizes every batch it ships, so without pooling
+// each Send allocates (and immediately discards) the full JSON encoding.
+var jsonSizeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // EncodedSize returns the JSON size of the batch in bytes, the quantity
-// the uplink-bandwidth experiments sweep.
+// the uplink-bandwidth experiments sweep. The encoding is produced in a
+// pooled scratch buffer and discarded, so sizing does not allocate the
+// batch's wire image on every call.
 func EncodedSize(b Batch) (int, error) {
-	data, err := EncodeBatch(b)
-	if err != nil {
+	if err := b.Validate(); err != nil {
 		return 0, err
 	}
-	return len(data), nil
+	buf := jsonSizeBufs.Get().(*bytes.Buffer)
+	defer func() {
+		buf.Reset()
+		jsonSizeBufs.Put(buf)
+	}()
+	if err := json.NewEncoder(buf).Encode(b); err != nil {
+		return 0, err
+	}
+	// Encoder appends a trailing newline that Marshal does not produce.
+	return buf.Len() - 1, nil
 }

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -210,4 +211,55 @@ func TestPropertyJSONDecoderRobust(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestEncodedSizeMatchesMarshal(t *testing.T) {
+	batches := []Batch{
+		{Node: 5, SeqNo: 1, SentAt: 10},
+		{Node: 5, SeqNo: 2, SentAt: 20, Packets: []PacketRecord{{
+			TS: 1, Node: 5, Event: EventRx, Type: "DATA", Src: 1, Dst: 5,
+			RSSIdBm: -100.5, SNRdB: 3.25, ForUs: true, AirtimeMS: 46,
+		}}, Heartbeats: []Heartbeat{{TS: 2, Node: 5, UptimeS: 2, Firmware: "fw/1 <&>"}}},
+	}
+	for _, b := range batches {
+		data, err := EncodeBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size, err := EncodedSize(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size != len(data) {
+			t.Fatalf("EncodedSize = %d, len(EncodeBatch) = %d", size, len(data))
+		}
+	}
+}
+
+func TestEncodedSizeConcurrent(t *testing.T) {
+	b := Batch{Node: 5, SeqNo: 2, SentAt: 20, Packets: []PacketRecord{{
+		TS: 1, Node: 5, Event: EventTx, Type: "HELLO", AirtimeMS: 46,
+	}}}
+	want, _ := EncodedSize(b)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				got, err := EncodedSize(b)
+				if err != nil || got != want {
+					t.Errorf("EncodedSize = %d (%v), want %d", got, err, want)
+					return
+				}
+				gotBin, err := EncodedSizeBinary(b)
+				wantBin, _ := EncodeBatchBinary(b)
+				if err != nil || gotBin != len(wantBin) {
+					t.Errorf("EncodedSizeBinary = %d (%v), want %d", gotBin, err, len(wantBin))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

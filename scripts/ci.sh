@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate: static checks, full build, race-enabled tests, then the
+# perf harness so every run leaves a fresh BENCH_1.json artifact.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== bench harness =="
+go run ./cmd/meshmon-bench -o BENCH_1.json
+
+echo "CI OK"
