@@ -55,4 +55,6 @@ func BenchmarkAblationSNRRouting(b *testing.B) { benchTable(b, experiments.Ablat
 
 func BenchmarkT5IngestThroughput(b *testing.B) { benchTable(b, experiments.T5IngestThroughput) }
 
+func BenchmarkT6IngestSaturation(b *testing.B) { benchTable(b, experiments.T6IngestSaturation) }
+
 func BenchmarkF12LargeTransfers(b *testing.B) { benchTable(b, experiments.F12LargeTransfers) }

@@ -9,29 +9,36 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
 	"lorameshmon/internal/alert"
 	"lorameshmon/internal/collector"
 	"lorameshmon/internal/dashboard"
+	"lorameshmon/internal/metrics"
 	"lorameshmon/internal/tsdb"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		retention  = flag.Float64("retention", 0, "drop samples older than this many seconds behind the newest (0 = keep all)")
-		recent     = flag.Int("recent", 1000, "packet records kept for the live-traffic view")
-		hbTimeout  = flag.Float64("node-down-after", 90, "node-down alert after this many record-seconds of heartbeat silence")
-		checkEvery = flag.Duration("check-every", 10*time.Second, "alert evaluation cadence (wall clock)")
-		title      = flag.String("title", "LoRa Mesh Monitor", "dashboard title")
-		snapshot   = flag.String("snapshot", "", "persist the time-series store to this file")
-		snapEvery  = flag.Duration("snapshot-every", time.Minute, "snapshot cadence when -snapshot is set")
+		addr        = flag.String("addr", ":8080", "listen address")
+		retention   = flag.Float64("retention", 0, "drop samples older than this many seconds behind the newest (0 = keep all)")
+		recent      = flag.Int("recent", 1000, "packet records kept for the live-traffic view")
+		hbTimeout   = flag.Float64("node-down-after", 90, "node-down alert after this many record-seconds of heartbeat silence")
+		checkEvery  = flag.Duration("check-every", 10*time.Second, "alert evaluation cadence (wall clock)")
+		title       = flag.String("title", "LoRa Mesh Monitor", "dashboard title")
+		snapshot    = flag.String("snapshot", "", "persist the time-series store to this file")
+		snapEvery   = flag.Duration("snapshot-every", time.Minute, "snapshot cadence when -snapshot is set")
+		enablePprof = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 	)
 	flag.Parse()
 
+	// One registry backs every subsystem's self-observability metrics;
+	// /metrics exposes them all in one scrape.
+	reg := metrics.NewRegistry()
 	db := tsdb.New()
+	db.Instrument(reg)
 	if *snapshot != "" {
 		if err := db.RestoreFile(*snapshot); err == nil {
 			log.Printf("restored time-series store from %s (%d points)", *snapshot, db.PointCount())
@@ -42,8 +49,10 @@ func main() {
 	coll := collector.New(db, collector.Config{
 		RecentPackets: *recent,
 		RetentionS:    *retention,
+		Metrics:       reg,
 	})
 	engine := alert.NewEngine(coll, alert.Config{HeartbeatTimeoutS: *hbTimeout})
+	engine.Instrument(reg)
 	dash := dashboard.New(coll, engine, dashboard.Config{Title: *title})
 
 	// Evaluate alert rules periodically against record time: MaxTS is the
@@ -69,8 +78,24 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.Handle("/api/", coll.APIHandler())
+	// /metrics serves the self-observability registry plus the
+	// mesh-domain exposition — the same payload as /api/v1/metrics, at
+	// the path Prometheus scrapers expect.
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteText(w)                             //nolint:errcheck // client gone
+		w.Write([]byte(coll.PrometheusExposition())) //nolint:errcheck
+	})
+	if *enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
 	mux.Handle("/", dash.Handler())
-	log.Printf("meshmon-collector listening on %s (dashboard at /, ingest at /api/v1/ingest)", *addr)
+	log.Printf("meshmon-collector listening on %s (dashboard at /, ingest at /api/v1/ingest, metrics at /metrics)", *addr)
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 

@@ -2,18 +2,23 @@
 // plausible telemetry batches for a fleet of fake nodes and POSTs them
 // concurrently, reporting the ingest throughput achieved — a capacity
 // answer operators need before pointing a large mesh at one server.
+//
+// With -rate it paces the offered load open-loop (batch i released at
+// start + i/rate); with -sweep it walks a comma-separated list of rates
+// and prints one line per level, so the saturation knee of a deployed
+// server can be found the same way experiment T6 finds it in-process.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"sync"
-	"sync/atomic"
+	"strconv"
+	"strings"
 	"time"
 
+	"lorameshmon/internal/loadgen"
 	"lorameshmon/internal/uplink"
-	"lorameshmon/internal/wire"
 )
 
 func main() {
@@ -22,61 +27,45 @@ func main() {
 		nodes   = flag.Int("nodes", 50, "simulated node count")
 		perB    = flag.Int("records", 32, "packet records per batch")
 		workers = flag.Int("workers", 8, "concurrent uploaders")
-		total   = flag.Int("batches", 1000, "total batches to send")
+		total   = flag.Int("batches", 1000, "total batches to send per level")
 		binary  = flag.Bool("binary", false, "use the compact binary wire format")
+		rate    = flag.Float64("rate", 0, "offered batches/s (0 = unpaced)")
+		sweep   = flag.String("sweep", "", "comma-separated offered rates to sweep, e.g. 500,1000,2000")
 	)
 	flag.Parse()
 
-	var sent, failed atomic.Uint64
-	var next atomic.Uint64
-	seqs := make([]atomic.Uint64, *nodes)
-	start := time.Now()
+	up := uplink.NewHTTP(*url)
+	up.Binary = *binary
 
-	var wg sync.WaitGroup
-	for w := 0; w < *workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			up := uplink.NewHTTP(*url)
-			up.Binary = *binary
-			for {
-				i := next.Add(1)
-				if i > uint64(*total) {
-					return
-				}
-				nodeIdx := int(i) % *nodes
-				node := wire.NodeID(nodeIdx + 1)
-				batch := makeBatch(node, seqs[nodeIdx].Add(1), *perB, float64(i))
-				if err := up.SendSync(batch); err != nil {
-					failed.Add(1)
-					log.Printf("batch %d: %v", i, err)
-					continue
-				}
-				sent.Add(1)
+	rates := []float64{*rate}
+	if *sweep != "" {
+		rates = rates[:0]
+		for _, f := range strings.Split(*sweep, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				log.Fatalf("bad -sweep entry %q: %v", f, err)
 			}
-		}()
+			rates = append(rates, r)
+		}
 	}
-	wg.Wait()
-	elapsed := time.Since(start)
 
-	ok := sent.Load()
-	records := ok * uint64(*perB+1)
-	fmt.Printf("sent %d batches (%d failed) in %v\n", ok, failed.Load(), elapsed.Round(time.Millisecond))
-	fmt.Printf("throughput: %.0f batches/s, %.0f records/s\n",
-		float64(ok)/elapsed.Seconds(), float64(records)/elapsed.Seconds())
-}
+	for _, r := range rates {
+		res := loadgen.Run(loadgen.Config{
+			Nodes:   *nodes,
+			Records: *perB,
+			Workers: *workers,
+			Batches: *total,
+			Rate:    r,
+			OnError: func(i uint64, err error) { log.Printf("batch %d: %v", i, err) },
+		}, up.SendSync)
 
-// makeBatch builds a plausible telemetry batch for load testing.
-func makeBatch(node wire.NodeID, seq uint64, records int, ts float64) wire.Batch {
-	b := wire.Batch{Node: node, SeqNo: seq, SentAt: ts}
-	for i := 0; i < records; i++ {
-		b.Packets = append(b.Packets, wire.PacketRecord{
-			TS: ts - float64(records-i)*0.1, Node: node, Event: wire.EventRx,
-			Type: "HELLO", Src: node + 1, Dst: wire.BroadcastID, Via: wire.BroadcastID,
-			Seq: uint16(seq*uint64(records) + uint64(i)), TTL: 1, Size: 23,
-			RSSIdBm: -100, SNRdB: 5, ForUs: true, AirtimeMS: 46,
-		})
+		offered := "unpaced"
+		if r > 0 {
+			offered = fmt.Sprintf("%.0f batches/s offered", r)
+		}
+		records := res.Sent * uint64(*perB+1)
+		fmt.Printf("%s: sent %d batches (%d failed) in %v — %.0f batches/s, %.0f records/s\n",
+			offered, res.Sent, res.Failed, res.Elapsed.Round(time.Millisecond),
+			res.BatchesPerSec(), float64(records)/res.Elapsed.Seconds())
 	}
-	b.Heartbeats = append(b.Heartbeats, wire.Heartbeat{TS: ts, Node: node, UptimeS: ts})
-	return b
 }

@@ -14,11 +14,57 @@ import (
 	"time"
 
 	"lorameshmon/internal/mesh"
+	"lorameshmon/internal/metrics"
 	"lorameshmon/internal/radio"
 	"lorameshmon/internal/simkit"
 	"lorameshmon/internal/uplink"
 	"lorameshmon/internal/wire"
 )
+
+// Metrics is a shared set of per-node agent instrument families; build
+// one with NewMetrics and hand it to every agent's Config so a whole
+// fleet reports into a single registry, labeled by node.
+type Metrics struct {
+	batches *metrics.CounterVec // node, outcome: sent|acked|failed
+	retries *metrics.CounterVec // node
+	backoff *metrics.GaugeVec   // node — current retry backoff, seconds
+	buffer  *metrics.GaugeVec   // node — records waiting to ship
+}
+
+// NewMetrics registers the agent families into reg.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		batches: reg.NewCounterVec("meshmon_agent_batches_total",
+			"Upload batches by node and outcome.", "node", "outcome"),
+		retries: reg.NewCounterVec("meshmon_agent_retries_total",
+			"Upload retries scheduled after failed batches.", "node"),
+		backoff: reg.NewGaugeVec("meshmon_agent_backoff_seconds",
+			"Current upload retry backoff (0 = healthy).", "node"),
+		buffer: reg.NewGaugeVec("meshmon_agent_buffer_records",
+			"Telemetry records buffered awaiting upload.", "node"),
+	}
+}
+
+// agentInstruments are one agent's cached per-node children, so the
+// capture and upload hot paths never touch the family maps.
+type agentInstruments struct {
+	sent, acked, failed *metrics.Counter
+	retries             *metrics.Counter
+	backoff             *metrics.Gauge
+	buffer              *metrics.Gauge
+}
+
+func (m *Metrics) forNode(id wire.NodeID) *agentInstruments {
+	n := id.String()
+	return &agentInstruments{
+		sent:    m.batches.With(n, "sent"),
+		acked:   m.batches.With(n, "acked"),
+		failed:  m.batches.With(n, "failed"),
+		retries: m.retries.With(n),
+		backoff: m.backoff.With(n),
+		buffer:  m.buffer.With(n),
+	}
+}
 
 // Config tunes the monitoring client. Zero fields take defaults.
 type Config struct {
@@ -48,6 +94,10 @@ type Config struct {
 	DisablePacketCapture bool
 	// Firmware is reported in heartbeats.
 	Firmware string
+	// Metrics, when non-nil, records the agent's upload health (batches,
+	// retries, backoff, buffer depth) labeled by node. Share one Metrics
+	// across a fleet.
+	Metrics *Metrics
 }
 
 // DefaultConfig reports every 30 s, summarises stats every 60 s,
@@ -142,6 +192,7 @@ type Agent struct {
 	tickers      []*simkit.Ticker
 
 	counters Counters
+	inst     *agentInstruments // nil when Config.Metrics is nil
 }
 
 // New builds an agent for router, shipping through up. The agent
@@ -153,6 +204,9 @@ func New(sim *simkit.Sim, router *mesh.Router, up uplink.Uplink, cfg Config) *Ag
 		up:     up,
 		cfg:    cfg.withDefaults(),
 		node:   wire.NodeID(router.ID()),
+	}
+	if a.cfg.Metrics != nil {
+		a.inst = a.cfg.Metrics.forNode(a.node)
 	}
 	router.SetTap(a.tap())
 	return a
@@ -347,6 +401,9 @@ func (a *Agent) push(r record) {
 	if len(a.buf) > a.counters.BufferHighWater {
 		a.counters.BufferHighWater = len(a.buf)
 	}
+	if a.inst != nil {
+		a.inst.buffer.Set(float64(len(a.buf)))
+	}
 }
 
 // --- upload side ---
@@ -381,6 +438,10 @@ func (a *Agent) flush() {
 	}
 	a.inFlight = true
 	a.counters.BatchesSent++
+	if a.inst != nil {
+		a.inst.sent.Inc()
+		a.inst.buffer.Set(float64(len(a.buf)))
+	}
 	a.up.Send(batch, func(err error) { a.uploadDone(take, batch, err) })
 }
 
@@ -390,6 +451,10 @@ func (a *Agent) uploadDone(taken []record, batch wire.Batch, err error) {
 		a.counters.BatchesAcked++
 		a.counters.RecordsShipped += uint64(batch.Len())
 		a.backoff = 0
+		if a.inst != nil {
+			a.inst.acked.Inc()
+			a.inst.backoff.Set(0)
+		}
 		// Drain any backlog promptly (post-outage recovery).
 		if len(a.buf) >= a.cfg.MaxBatchRecords {
 			a.sim.Do(0, a.flush)
@@ -397,6 +462,9 @@ func (a *Agent) uploadDone(taken []record, batch wire.Batch, err error) {
 		return
 	}
 	a.counters.BatchesFailed++
+	if a.inst != nil {
+		a.inst.failed.Inc()
+	}
 	if a.cfg.DisableBuffering {
 		a.counters.UnbufferedLost += uint64(len(taken))
 	} else {
@@ -424,6 +492,11 @@ func (a *Agent) uploadDone(taken []record, batch wire.Batch, err error) {
 		a.retryEv.Stop()
 	}
 	a.retryPending = true
+	if a.inst != nil {
+		a.inst.retries.Inc()
+		a.inst.backoff.Set(a.backoff.Seconds())
+		a.inst.buffer.Set(float64(len(a.buf)))
+	}
 	a.retryEv = a.sim.After(a.backoff, func() {
 		a.retryPending = false
 		a.flush()

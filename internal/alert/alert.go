@@ -11,8 +11,10 @@ package alert
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"lorameshmon/internal/collector"
+	"lorameshmon/internal/metrics"
 	"lorameshmon/internal/wire"
 )
 
@@ -92,6 +94,15 @@ type alertKey struct {
 	node wire.NodeID
 }
 
+// engineInstruments are the engine's self-observability handles.
+type engineInstruments struct {
+	evaluations  *metrics.Counter
+	firings      *metrics.CounterVec // kind
+	resolved     *metrics.CounterVec // kind
+	active       *metrics.Gauge
+	checkLatency *metrics.Histogram
+}
+
 // Engine evaluates rules and tracks alert lifecycles.
 type Engine struct {
 	coll    *collector.Collector
@@ -101,6 +112,25 @@ type Engine struct {
 	// lossSeen remembers the lost-batch count already alerted on so the
 	// rule re-fires only when losses grow.
 	lossSeen map[wire.NodeID]uint64
+	inst     *engineInstruments // nil until Instrument
+}
+
+// Instrument registers the engine's self-observability metrics into
+// reg: rule-evaluation and firing counters, an active-alert gauge and a
+// check-latency histogram. Call once at wiring time.
+func (e *Engine) Instrument(reg *metrics.Registry) {
+	e.inst = &engineInstruments{
+		evaluations: reg.NewCounter("meshmon_alert_evaluations_total",
+			"Alert rule evaluation passes."),
+		firings: reg.NewCounterVec("meshmon_alert_firings_total",
+			"Alerts fired, by kind.", "kind"),
+		resolved: reg.NewCounterVec("meshmon_alert_resolved_total",
+			"Alerts resolved, by kind.", "kind"),
+		active: reg.NewGauge("meshmon_alert_active",
+			"Alerts currently firing."),
+		checkLatency: reg.NewHistogram("meshmon_alert_check_seconds",
+			"Latency of one full rule evaluation pass.", nil),
+	}
 }
 
 // NewEngine builds an engine over coll.
@@ -154,16 +184,25 @@ func (e *Engine) History() []Alert {
 // Check evaluates all rules at reference time now (seconds in record
 // time) and returns newly fired alerts.
 func (e *Engine) Check(now float64) []Alert {
+	start := time.Now()
 	var fired []Alert
 	fired = append(fired, e.checkNodeDown(now)...)
 	fired = append(fired, e.checkDutyCycle(now)...)
 	fired = append(fired, e.checkUploadLoss(now)...)
+	if e.inst != nil {
+		e.inst.evaluations.Inc()
+		e.inst.active.Set(float64(len(e.active)))
+		e.inst.checkLatency.Observe(time.Since(start).Seconds())
+	}
 	return fired
 }
 
 func (e *Engine) fire(key alertKey, a Alert) *Alert {
 	cp := a
 	e.active[key] = &cp
+	if e.inst != nil {
+		e.inst.firings.With(string(a.Kind)).Inc()
+	}
 	return &cp
 }
 
@@ -176,6 +215,9 @@ func (e *Engine) resolve(key alertKey, now float64) {
 	a.Resolved = true
 	a.ResolvedAt = now
 	e.history = append(e.history, *a)
+	if e.inst != nil {
+		e.inst.resolved.With(string(a.Kind)).Inc()
+	}
 }
 
 func (e *Engine) checkNodeDown(now float64) []Alert {

@@ -37,7 +37,9 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
+	"lorameshmon/internal/metrics"
 	"lorameshmon/internal/tsdb"
 	"lorameshmon/internal/wire"
 )
@@ -54,6 +56,12 @@ type Config struct {
 	// every successfully ingested batch — the hook for exporters and
 	// recorders.
 	OnIngest func(wire.Batch)
+	// Metrics is the self-observability registry the collector's ingest
+	// and HTTP instruments register into. Nil gets a private registry, so
+	// instrumentation is always live; pass a shared registry to co-expose
+	// tsdb/alert/uplink families on the same /metrics endpoint. A
+	// registry must back at most one collector (family names would clash).
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig keeps the last 1000 packet records and all samples.
@@ -148,12 +156,48 @@ type LinkObs struct {
 
 type linkKey struct{ tx, rx wire.NodeID }
 
+// instruments are the collector's self-observability handles, resolved
+// once at construction so the ingest hot path records through cached
+// pointers (a few atomic adds per batch, no map lookups).
+type instruments struct {
+	batchesOK       *metrics.Counter
+	batchesRejected *metrics.Counter
+	batchesDup      *metrics.Counter
+	records         *metrics.Counter
+	bytes           *metrics.Counter
+	latency         *metrics.Histogram
+	httpRequests    *metrics.CounterVec   // route, code
+	httpLatency     *metrics.HistogramVec // route
+}
+
+func newInstruments(reg *metrics.Registry) *instruments {
+	batches := reg.NewCounterVec("meshmon_ingest_batches_total",
+		"Telemetry batches by ingest outcome.", "result")
+	return &instruments{
+		batchesOK:       batches.With("ok"),
+		batchesRejected: batches.With("rejected"),
+		batchesDup:      batches.With("dup"),
+		records: reg.NewCounter("meshmon_ingest_records_total",
+			"Telemetry records materialised into the store."),
+		bytes: reg.NewCounter("meshmon_ingest_bytes_total",
+			"Request body bytes accepted by the HTTP ingest endpoint."),
+		latency: reg.NewHistogram("meshmon_ingest_latency_seconds",
+			"Wall-clock latency of ingesting one batch into the store.", nil),
+		httpRequests: reg.NewCounterVec("meshmon_http_requests_total",
+			"API requests by route and status code.", "route", "code"),
+		httpLatency: reg.NewHistogramVec("meshmon_http_request_seconds",
+			"API request handling latency by route.", nil, "route"),
+	}
+}
+
 // Collector is the monitoring server core. It is safe for concurrent
 // use; the HTTP ingest path calls it from request goroutines.
 type Collector struct {
 	mu     sync.RWMutex
 	cfg    Config
 	db     *tsdb.DB
+	reg    *metrics.Registry
+	inst   *instruments
 	nodes  map[wire.NodeID]*nodeState
 	links  map[linkKey]*LinkObs
 	series map[seriesKey]*tsdb.Series
@@ -170,14 +214,24 @@ func New(db *tsdb.DB, cfg Config) *Collector {
 	if cfg.RecentPackets <= 0 {
 		cfg.RecentPackets = DefaultConfig().RecentPackets
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	return &Collector{
 		cfg:    cfg,
 		db:     db,
+		reg:    reg,
+		inst:   newInstruments(reg),
 		nodes:  make(map[wire.NodeID]*nodeState),
 		links:  make(map[linkKey]*LinkObs),
 		series: make(map[seriesKey]*tsdb.Series),
 	}
 }
+
+// Metrics returns the collector's self-observability registry (the one
+// from Config.Metrics, or the private default).
+func (c *Collector) Metrics() *metrics.Registry { return c.reg }
 
 // handleFor returns the cached append handle for key, building the
 // metric's label set only on the first miss. Callers hold c.mu.
@@ -274,20 +328,35 @@ func (c *Collector) MaxTS() float64 {
 
 // Ingest implements uplink.Sink: it validates and stores one batch.
 func (c *Collector) Ingest(b wire.Batch) error {
+	start := time.Now()
 	if err := b.Validate(); err != nil {
 		c.mu.Lock()
 		c.stats.BatchesRejected++
 		c.mu.Unlock()
+		c.inst.batchesRejected.Inc()
 		return fmt.Errorf("collector: %w", err)
 	}
 	stored, err := c.ingestLocked(b)
 	if err != nil {
 		return err
 	}
-	if stored && c.cfg.OnIngest != nil {
+	if !stored {
+		c.inst.batchesDup.Inc()
+		return nil
+	}
+	c.inst.batchesOK.Inc()
+	c.inst.records.Add(float64(b.Len()))
+	c.inst.latency.Observe(time.Since(start).Seconds())
+	if c.cfg.OnIngest != nil {
 		c.cfg.OnIngest(b)
 	}
 	return nil
+}
+
+// addIngestBytes credits accepted HTTP ingest payload bytes (the HTTP
+// layer knows the request size; direct in-process ingest has none).
+func (c *Collector) addIngestBytes(n int) {
+	c.inst.bytes.Add(float64(n))
 }
 
 // ingestLocked stores the batch and reports whether it was accepted

@@ -7,6 +7,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"time"
 
 	"lorameshmon/internal/tsdb"
 	"lorameshmon/internal/wire"
@@ -28,15 +29,56 @@ const maxBodyBytes = 1 << 20
 //	GET  /api/v1/export?from=&to= — recent packet records as JSONL
 func (c *Collector) APIHandler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/v1/ingest", c.handleIngest)
-	mux.HandleFunc("GET /api/v1/nodes", c.handleNodes)
-	mux.HandleFunc("GET /api/v1/nodes/{id}", c.handleNode)
-	mux.HandleFunc("GET /api/v1/recent", c.handleRecent)
-	mux.HandleFunc("GET /api/v1/stats", c.handleStats)
-	mux.HandleFunc("GET /api/v1/query", c.handleQuery)
-	mux.HandleFunc("GET /api/v1/metrics", c.prometheusHandler)
-	mux.HandleFunc("GET /api/v1/export", c.handleExport)
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.Handle(pattern, c.instrumented(route, h))
+	}
+	handle("POST /api/v1/ingest", "ingest", c.handleIngest)
+	handle("GET /api/v1/nodes", "nodes", c.handleNodes)
+	handle("GET /api/v1/nodes/{id}", "node", c.handleNode)
+	handle("GET /api/v1/recent", "recent", c.handleRecent)
+	handle("GET /api/v1/stats", "stats", c.handleStats)
+	handle("GET /api/v1/query", "query", c.handleQuery)
+	handle("GET /api/v1/metrics", "metrics", c.prometheusHandler)
+	handle("GET /api/v1/export", "export", c.handleExport)
 	return mux
+}
+
+// statusWriter captures the response status for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// instrumented wraps one API route with the per-route request counter
+// and latency histogram. The histogram child is resolved at wiring
+// time; only the {route,code} counter is looked up per request (the
+// status code is not known until the handler returns).
+func (c *Collector) instrumented(route string, next http.HandlerFunc) http.Handler {
+	hist := c.inst.httpLatency.With(route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		hist.Observe(time.Since(start).Seconds())
+		c.inst.httpRequests.With(route, strconv.Itoa(sw.status)).Inc()
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -77,6 +119,7 @@ func (c *Collector) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	c.addIngestBytes(len(body))
 	writeJSON(w, http.StatusOK, map[string]any{"accepted": batch.Len()})
 }
 

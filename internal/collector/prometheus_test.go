@@ -1,8 +1,10 @@
 package collector
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -74,6 +76,69 @@ func TestPrometheusEndpoint(t *testing.T) {
 	}
 	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
 		t.Fatalf("content type = %q", ct)
+	}
+}
+
+// TestSelfMetricsEndToEnd drives the real HTTP ingest path and checks
+// the scrape covers the self-observability families: ingest outcomes,
+// per-route HTTP counters with status codes, and the latency histogram.
+func TestSelfMetricsEndToEnd(t *testing.T) {
+	c := newCollector()
+	srv := httptest.NewServer(c.APIHandler())
+	defer srv.Close()
+
+	post := func(body string) *http.Response {
+		resp, err := http.Post(srv.URL+"/api/v1/ingest", "application/json",
+			strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	good := `{"node":1,"seq_no":1,"sent_at":10,"heartbeats":[{"ts":10,"node":1}]}`
+	if resp := post(good); resp.StatusCode != http.StatusOK {
+		t.Fatalf("good batch status = %v", resp.Status)
+	}
+	if resp := post("{not json"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad batch status = %v", resp.Status)
+	}
+	// A stats read so the per-route counters grow beyond ingest.
+	resp, err := http.Get(srv.URL + "/api/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	scrape, err := http.Get(srv.URL + "/api/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scrape.Body.Close()
+	buf := new(strings.Builder)
+	if _, err := io.Copy(buf, scrape.Body); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`meshmon_ingest_batches_total{result="ok"} 1`,
+		`meshmon_ingest_records_total 1`,
+		`meshmon_http_requests_total{route="ingest",code="200"} 1`,
+		`meshmon_http_requests_total{route="ingest",code="400"} 1`,
+		`meshmon_http_requests_total{route="stats",code="200"} 1`,
+		`meshmon_http_request_seconds_bucket{route="ingest",le="+Inf"}`,
+		"meshmon_ingest_latency_seconds_count 1",
+		// The mesh-domain exposition rides along on the same scrape.
+		"meshmon_batches_ingested_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("self-metrics scrape missing %q", want)
+		}
+	}
+	// The bytes counter credits exactly the accepted request body.
+	wantBytes := "meshmon_ingest_bytes_total " + strconv.Itoa(len(good))
+	if !strings.Contains(out, wantBytes) {
+		t.Errorf("self-metrics scrape missing %q", wantBytes)
 	}
 }
 

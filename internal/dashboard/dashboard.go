@@ -73,6 +73,7 @@ func New(coll *collector.Collector, engine *alert.Engine, cfg Config) *Server {
 //	GET /traffic              recent packet records
 //	GET /topology             inferred topology graph (SVG inline)
 //	GET /alerts               active alerts and resolution history
+//	GET /health               server self-observability panel
 //	GET /chart/{metric}.svg   metric chart (query: node, from, to)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -81,6 +82,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /traffic", s.handleTraffic)
 	mux.HandleFunc("GET /topology", s.handleTopology)
 	mux.HandleFunc("GET /alerts", s.handleAlerts)
+	mux.HandleFunc("GET /health", s.handleHealth)
 	mux.HandleFunc("GET /chart/{metric}", s.handleChart)
 	return mux
 }
@@ -298,7 +300,7 @@ h1{font-size:20px}h2{font-size:16px}
 .meta{color:#6b7280;font-size:12px}
 </style></head><body>
 <h1>{{.Title}}</h1>
-<nav><a href="/">Overview</a><a href="/traffic">Traffic</a><a href="/topology">Topology</a><a href="/alerts">Alerts</a></nav>
+<nav><a href="/">Overview</a><a href="/traffic">Traffic</a><a href="/topology">Topology</a><a href="/alerts">Alerts</a><a href="/health">Health</a></nav>
 {{end}}
 {{define "foot"}}</body></html>{{end}}
 
@@ -361,5 +363,22 @@ h1{font-size:20px}h2{font-size:16px}
 {{define "topology"}}{{template "head" .}}
 <h2>Topology</h2>
 {{.SVG}}
+{{template "foot" .}}{{end}}
+
+{{define "health"}}{{template "head" .}}
+<h2>Server health</h2>
+{{if .Stats}}<table><tr>{{range .Stats}}<th>{{.Label}}</th>{{end}}</tr>
+<tr>{{range .Stats}}<td>{{.Value}}</td>{{end}}</tr></table>
+{{else}}<p class="meta">no self-observability metrics recorded yet</p>{{end}}
+{{if .Routes}}<h2>API routes</h2>
+<table><tr><th>Route</th><th>Requests</th><th>Errors</th><th>p50</th><th>p99</th></tr>
+{{range .Routes}}<tr><td>{{.Route}}</td><td>{{.Requests}}</td><td>{{.Errors}}</td><td>{{.P50}}</td><td>{{.P99}}</td></tr>{{end}}
+</table>{{end}}
+<h2>All metric families</h2>
+<table><tr><th>Family</th><th>Kind</th><th>Labels</th><th>Value</th></tr>
+{{range .Families}}{{$f := .}}{{range .Samples}}<tr>
+<td title="{{$f.Help}}">{{$f.Name}}</td><td>{{$f.Kind}}</td><td>{{.Labels}}</td><td>{{.Summary}}</td>
+</tr>{{end}}{{end}}
+</table>
 {{template "foot" .}}{{end}}
 `

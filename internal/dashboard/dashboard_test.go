@@ -78,6 +78,24 @@ func fetch(t *testing.T, url string) (int, string) {
 	return resp.StatusCode, string(body)
 }
 
+func TestHealthPage(t *testing.T) {
+	srv := newDash(t)
+	code, body := fetch(t, srv.URL+"/health")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{
+		"Server health",
+		"batches ingested", "records ingested",
+		"ingest p50", "ingest p99",
+		"meshmon_ingest_batches_total", "meshmon_http_requests_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("health page missing %q", want)
+		}
+	}
+}
+
 func TestOverviewPage(t *testing.T) {
 	srv := newDash(t)
 	code, body := fetch(t, srv.URL+"/")

@@ -1,0 +1,234 @@
+package dashboard
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+
+	"lorameshmon/internal/metrics"
+)
+
+// The server-health panel: a compact rendering of the collector's
+// self-observability registry — the "monitor the monitor" view. It is
+// generated entirely from the registry snapshot, so any family wired
+// into the shared registry (ingest, HTTP, tsdb, alerts, uplink clients)
+// shows up without dashboard changes.
+
+type healthStat struct {
+	Label string
+	Value string
+}
+
+type healthRoute struct {
+	Route    string
+	Requests string
+	Errors   string
+	P50      string
+	P99      string
+}
+
+type healthSample struct {
+	Labels  string
+	Summary string
+}
+
+type healthFamily struct {
+	Name    string
+	Kind    string
+	Help    string
+	Samples []healthSample
+}
+
+type healthData struct {
+	Title    string
+	Stats    []healthStat
+	Routes   []healthRoute
+	Families []healthFamily
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	reg := s.coll.Metrics()
+	data := healthData{Title: s.cfg.Title}
+
+	counterVal := func(name string, labelValues ...string) (float64, bool) {
+		fam, ok := reg.Family(name)
+		if !ok {
+			return 0, false
+		}
+		total, matched := 0.0, false
+		for _, smp := range fam.Samples {
+			if len(labelValues) > 0 && !labelsMatch(smp.LabelValues, labelValues) {
+				continue
+			}
+			total += smp.Value
+			matched = true
+		}
+		return total, matched
+	}
+	statS := func(label, value string) {
+		data.Stats = append(data.Stats, healthStat{Label: label, Value: value})
+	}
+	stat := func(label, format string, v float64) {
+		statS(label, fmt.Sprintf(format, v))
+	}
+
+	if v, ok := counterVal("meshmon_ingest_batches_total", "ok"); ok {
+		stat("batches ingested", "%.0f", v)
+	}
+	if v, ok := counterVal("meshmon_ingest_batches_total", "dup"); ok {
+		stat("dup batches dropped", "%.0f", v)
+	}
+	if v, ok := counterVal("meshmon_ingest_batches_total", "rejected"); ok {
+		stat("batches rejected", "%.0f", v)
+	}
+	if v, ok := counterVal("meshmon_ingest_records_total"); ok {
+		stat("records ingested", "%.0f", v)
+	}
+	if v, ok := counterVal("meshmon_ingest_bytes_total"); ok {
+		stat("ingest bytes (HTTP)", "%.0f", v)
+	}
+	if fam, ok := reg.Family("meshmon_ingest_latency_seconds"); ok && len(fam.Samples) > 0 {
+		if h := fam.Samples[0].Hist; h != nil && h.Count > 0 {
+			statS("ingest p50", fmtSeconds(h.Quantile(0.5)))
+			statS("ingest p99", fmtSeconds(h.Quantile(0.99)))
+		}
+	}
+	if v, ok := counterVal("meshmon_tsdb_points"); ok {
+		stat("tsdb points", "%.0f", v)
+	}
+	if v, ok := counterVal("meshmon_tsdb_series"); ok {
+		stat("tsdb series", "%.0f", v)
+	}
+	if v, ok := counterVal("meshmon_alert_active"); ok {
+		stat("active alerts", "%.0f", v)
+	}
+
+	data.Routes = httpRouteRows(reg)
+	data.Families = familyRows(reg)
+	s.render(w, "health", data)
+}
+
+// httpRouteRows folds the per-route HTTP families into one table.
+func httpRouteRows(reg *metrics.Registry) []healthRoute {
+	reqs, ok := reg.Family("meshmon_http_requests_total")
+	if !ok {
+		return nil
+	}
+	type acc struct {
+		total, errors float64
+	}
+	routes := map[string]*acc{}
+	for _, smp := range reqs.Samples {
+		if len(smp.LabelValues) != 2 {
+			continue
+		}
+		route, code := smp.LabelValues[0], smp.LabelValues[1]
+		a := routes[route]
+		if a == nil {
+			a = &acc{}
+			routes[route] = a
+		}
+		a.total += smp.Value
+		if !strings.HasPrefix(code, "2") {
+			a.errors += smp.Value
+		}
+	}
+	lat, _ := reg.Family("meshmon_http_request_seconds")
+	latByRoute := map[string]*metrics.HistogramSnapshot{}
+	for _, smp := range lat.Samples {
+		if len(smp.LabelValues) == 1 && smp.Hist != nil {
+			latByRoute[smp.LabelValues[0]] = smp.Hist
+		}
+	}
+	names := make([]string, 0, len(routes))
+	for r := range routes {
+		names = append(names, r)
+	}
+	sort.Strings(names)
+	out := make([]healthRoute, 0, len(names))
+	for _, r := range names {
+		row := healthRoute{
+			Route:    r,
+			Requests: fmt.Sprintf("%.0f", routes[r].total),
+			Errors:   fmt.Sprintf("%.0f", routes[r].errors),
+			P50:      "—",
+			P99:      "—",
+		}
+		if h := latByRoute[r]; h != nil && h.Count > 0 {
+			row.P50 = fmtSeconds(h.Quantile(0.5))
+			row.P99 = fmtSeconds(h.Quantile(0.99))
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// familyRows renders the whole registry generically.
+func familyRows(reg *metrics.Registry) []healthFamily {
+	var out []healthFamily
+	for _, fam := range reg.Snapshot() {
+		hf := healthFamily{Name: fam.Name, Kind: string(fam.Kind), Help: fam.Help}
+		if len(fam.Samples) == 0 {
+			// A labeled family with no children yet — keep it visible so
+			// operators can discover what will be reported.
+			hf.Samples = append(hf.Samples, healthSample{Summary: "no samples yet"})
+		}
+		for _, smp := range fam.Samples {
+			row := healthSample{Labels: labelText(smp.LabelNames, smp.LabelValues)}
+			if smp.Hist != nil {
+				h := smp.Hist
+				if h.Count == 0 {
+					row.Summary = "no observations"
+				} else {
+					row.Summary = fmt.Sprintf("count %d · mean %s · p50 %s · p99 %s",
+						h.Count, fmtSeconds(h.Sum/float64(h.Count)),
+						fmtSeconds(h.Quantile(0.5)), fmtSeconds(h.Quantile(0.99)))
+				}
+			} else {
+				row.Summary = fmt.Sprintf("%g", smp.Value)
+			}
+			hf.Samples = append(hf.Samples, row)
+		}
+		out = append(out, hf)
+	}
+	return out
+}
+
+func labelsMatch(have, want []string) bool {
+	if len(have) != len(want) {
+		return false
+	}
+	for i := range want {
+		if have[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func labelText(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	parts := make([]string, len(names))
+	for i := range names {
+		parts[i] = names[i] + "=" + values[i]
+	}
+	return strings.Join(parts, ", ")
+}
+
+// fmtSeconds renders a duration in seconds with a sensible unit.
+func fmtSeconds(s float64) string {
+	switch {
+	case math.IsNaN(s):
+		return "—"
+	case s < 1e-3:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", s)
+	}
+}

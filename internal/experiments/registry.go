@@ -35,6 +35,7 @@ func All() []Experiment {
 		{"F12", "large-transfers", F12LargeTransfers},
 		{"T4", "overhead-split", T4OverheadSplit},
 		{"T5", "ingest-throughput", T5IngestThroughput},
+		{"T6", "ingest-saturation", T6IngestSaturation},
 		{"A1", "ablation-batching", AblationBatching},
 		{"A2", "ablation-drop-policy", AblationDropPolicy},
 		{"A3", "ablation-capture", AblationCapture},

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+
+	"lorameshmon/internal/collector"
+	"lorameshmon/internal/loadgen"
+	"lorameshmon/internal/metrics"
+	"lorameshmon/internal/tsdb"
+	"lorameshmon/internal/uplink"
+)
+
+// T6IngestSaturation sweeps offered ingest load against the HTTP ingest
+// path and reports achieved throughput plus p50/p99 ingest latency at
+// each level, read from the collector's own self-observability
+// histogram. The knee — the first level where the server achieves less
+// than 90% of the offered rate — is how far one monitoring server can
+// be pushed before latency, not bandwidth, becomes the story.
+func T6IngestSaturation() Table {
+	t := Table{
+		ID:      "T6",
+		Title:   "Collector ingest saturation (offered-load sweep, 32 records/batch, this machine)",
+		Columns: []string{"offered (batch/s)", "achieved (batch/s)", "achieved/offered", "p50 ingest", "p99 ingest"},
+	}
+	const perBatch = 32
+	const perLevel = 400
+
+	// Calibrate: an unpaced burst finds this machine's ceiling so the
+	// sweep brackets the knee regardless of hardware.
+	maxRate := runLevel(0, perLevel, perBatch).achieved
+	if maxRate <= 0 {
+		t.Note("calibration run achieved no throughput; sweep skipped")
+		return t
+	}
+
+	knee := 0.0
+	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0, 1.25} {
+		offered := frac * maxRate
+		r := runLevel(offered, perLevel, perBatch)
+		ratio := r.achieved / offered
+		t.AddRow(f1(offered), f1(r.achieved), pct(ratio), fmtLatency(r.p50), fmtLatency(r.p99))
+		if knee == 0 && ratio < 0.9 {
+			knee = offered
+		}
+	}
+	if knee > 0 {
+		t.Note("saturation knee near %.0f offered batches/s (first level achieving <90%% of offered)", knee)
+	} else {
+		t.Note("no knee within the sweep: the server kept pace up to 1.25x its unpaced ceiling")
+	}
+	t.Note("p50/p99 from the collector's own meshmon_ingest_latency_seconds histogram; GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
+	return t
+}
+
+type levelResult struct {
+	achieved float64
+	p50, p99 float64
+}
+
+// runLevel drives one offered-load level against a fresh collector over
+// the real HTTP ingest handler and reads the latency quantiles back out
+// of the collector's metrics registry.
+func runLevel(offered float64, batches, perBatch int) levelResult {
+	reg := metrics.NewRegistry()
+	c := collector.New(tsdb.New(), collector.Config{Metrics: reg})
+	srv := httptest.NewServer(c.APIHandler())
+	defer srv.Close()
+	up := uplink.NewHTTP(srv.URL + "/api/v1/ingest")
+
+	res := loadgen.Run(loadgen.Config{
+		Nodes:   8,
+		Records: perBatch,
+		Workers: 8,
+		Batches: batches,
+		Rate:    offered,
+		OnError: func(i uint64, err error) {
+			panic(fmt.Sprintf("experiments: T6 batch %d: %v", i, err))
+		},
+	}, up.SendSync)
+
+	out := levelResult{achieved: res.BatchesPerSec()}
+	if fam, ok := reg.Family("meshmon_ingest_latency_seconds"); ok && len(fam.Samples) > 0 {
+		if h := fam.Samples[0].Hist; h != nil && h.Count > 0 {
+			out.p50 = h.Quantile(0.5)
+			out.p99 = h.Quantile(0.99)
+		}
+	}
+	return out
+}
+
+// fmtLatency renders seconds with a unit readable at µs scale.
+func fmtLatency(s float64) string {
+	switch {
+	case s <= 0:
+		return "-"
+	case s < 1e-3:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}

@@ -1,0 +1,61 @@
+package loadgen
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lorameshmon/internal/wire"
+)
+
+func TestMakeBatchPassesWireValidation(t *testing.T) {
+	// The very first batches of a run have send times smaller than the
+	// record-trail window; they must still validate.
+	for _, ts := range []float64{1, 100} {
+		b := MakeBatch(3, 1, 32, ts)
+		if got := len(b.Packets); got != 32 {
+			t.Fatalf("packets = %d, want 32", got)
+		}
+		for _, p := range b.Packets {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("ts=%v: %v", ts, err)
+			}
+		}
+		for _, h := range b.Heartbeats {
+			if err := h.Validate(); err != nil {
+				t.Fatalf("ts=%v heartbeat: %v", ts, err)
+			}
+		}
+	}
+}
+
+func TestRunCountsAndFailures(t *testing.T) {
+	var calls atomic.Uint64
+	res := Run(Config{Nodes: 3, Records: 2, Workers: 4, Batches: 50},
+		func(b wire.Batch) error {
+			if calls.Add(1)%5 == 0 {
+				return errors.New("boom")
+			}
+			return nil
+		})
+	if res.Sent+res.Failed != 50 {
+		t.Fatalf("sent %d + failed %d != 50", res.Sent, res.Failed)
+	}
+	if res.Failed != 10 {
+		t.Fatalf("failed = %d, want 10", res.Failed)
+	}
+}
+
+func TestRunPacesOpenLoop(t *testing.T) {
+	// 40 batches at 400/s must take at least ~97 ms even though the
+	// sender is instantaneous.
+	res := Run(Config{Workers: 4, Batches: 40, Rate: 400},
+		func(wire.Batch) error { return nil })
+	if res.Elapsed < 90*time.Millisecond {
+		t.Fatalf("paced run finished in %v, want ≥90ms", res.Elapsed)
+	}
+	if res.Sent != 40 {
+		t.Fatalf("sent = %d", res.Sent)
+	}
+}

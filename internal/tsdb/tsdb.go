@@ -14,6 +14,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"lorameshmon/internal/metrics"
 )
 
 // Point is one sample.
@@ -113,6 +117,40 @@ type DB struct {
 	mu      sync.RWMutex
 	metrics map[string]map[string]*series // name -> canonical labels -> series
 	points  int
+	// inst holds the optional self-observability instruments; an atomic
+	// pointer so readers on the append fast path never take an extra lock.
+	inst atomic.Pointer[dbInstruments]
+}
+
+// dbInstruments are the store's own health metrics.
+type dbInstruments struct {
+	appends      *metrics.Counter
+	pruneRuns    *metrics.Counter
+	pruneDropped *metrics.Counter
+	queryLatency *metrics.Histogram
+}
+
+// Instrument registers the store's self-observability metrics into reg:
+// append/prune counters, a query-latency histogram, and scrape-time
+// gauges for the live series and point counts. Call once, at wiring
+// time, before the store sees traffic.
+func (db *DB) Instrument(reg *metrics.Registry) {
+	db.inst.Store(&dbInstruments{
+		appends: reg.NewCounter("meshmon_tsdb_appends_total",
+			"Samples appended to the time-series store."),
+		pruneRuns: reg.NewCounter("meshmon_tsdb_prune_runs_total",
+			"Retention prune passes executed."),
+		pruneDropped: reg.NewCounter("meshmon_tsdb_prune_dropped_total",
+			"Samples dropped by retention pruning."),
+		queryLatency: reg.NewHistogram("meshmon_tsdb_query_seconds",
+			"Latency of range queries and aggregate pushdowns.", nil),
+	})
+	reg.NewGaugeFunc("meshmon_tsdb_series",
+		"Distinct series currently in the store.",
+		func() float64 { return float64(db.SeriesCount()) })
+	reg.NewGaugeFunc("meshmon_tsdb_points",
+		"Samples currently in the store.",
+		func() float64 { return float64(db.PointCount()) })
 }
 
 // New returns an empty store.
@@ -144,6 +182,9 @@ func (db *DB) appendLocked(s *series, ts, value float64) {
 	}
 	s.points = append(s.points, Point{TS: ts, Value: value})
 	db.points++
+	if m := db.inst.Load(); m != nil {
+		m.appends.Inc()
+	}
 }
 
 // Append adds a sample to the series (name, labels).
@@ -229,6 +270,7 @@ type Result struct {
 // holds only the read lock in the common (time-ordered) case, so
 // dashboard reads do not serialize against collector ingest.
 func (db *DB) Query(name string, matcher Labels, from, to float64) []Result {
+	defer db.observeQuery(time.Now())
 	db.readLock(name)
 	defer db.mu.RUnlock()
 	byLabels := db.metrics[name]
@@ -277,6 +319,7 @@ func (db *DB) Latest(name string, labels Labels) (Point, bool) {
 // label order so floating-point results are deterministic. NaN is
 // returned when no point matches (count returns 0).
 func (db *DB) AggregateRange(name string, matcher Labels, from, to float64, agg Agg) float64 {
+	defer db.observeQuery(time.Now())
 	db.readLock(name)
 	defer db.mu.RUnlock()
 	byLabels := db.metrics[name]
@@ -361,6 +404,13 @@ func (db *DB) PointCount() int {
 	return db.points
 }
 
+// observeQuery records one read-path latency sample when instrumented.
+func (db *DB) observeQuery(start time.Time) {
+	if m := db.inst.Load(); m != nil {
+		m.queryLatency.Observe(time.Since(start).Seconds())
+	}
+}
+
 // Prune drops every sample with TS < before and removes empty series.
 // It returns how many samples were dropped.
 func (db *DB) Prune(before float64) int {
@@ -386,6 +436,10 @@ func (db *DB) Prune(before float64) int {
 		}
 	}
 	db.points -= dropped
+	if m := db.inst.Load(); m != nil {
+		m.pruneRuns.Inc()
+		m.pruneDropped.Add(float64(dropped))
+	}
 	return dropped
 }
 

@@ -7,8 +7,34 @@ import (
 	"net/http"
 	"time"
 
+	"lorameshmon/internal/metrics"
 	"lorameshmon/internal/wire"
 )
+
+// ClientMetrics instruments an HTTP uplink: send outcomes, bytes put on
+// the wire and request latency. One instance may be shared by any
+// number of HTTP clients (loadgen workers all record into the same
+// counters).
+type ClientMetrics struct {
+	ok      *metrics.Counter
+	errored *metrics.Counter
+	bytes   *metrics.Counter
+	latency *metrics.Histogram
+}
+
+// NewClientMetrics registers the uplink-client families into reg.
+func NewClientMetrics(reg *metrics.Registry) *ClientMetrics {
+	sends := reg.NewCounterVec("meshmon_uplink_sends_total",
+		"Upload attempts by outcome.", "result")
+	return &ClientMetrics{
+		ok:      sends.With("ok"),
+		errored: sends.With("error"),
+		bytes: reg.NewCounter("meshmon_uplink_sent_bytes_total",
+			"Encoded batch bytes put on the wire."),
+		latency: reg.NewHistogram("meshmon_uplink_send_seconds",
+			"Round-trip latency of one upload POST.", nil),
+	}
+}
 
 // HTTP posts batches to a live collector's ingest endpoint. It is used
 // by the standalone tools (meshmon-collector clients, meshmon-replay),
@@ -19,6 +45,8 @@ type HTTP struct {
 	Client *http.Client
 	// Binary selects the compact binary wire format instead of JSON.
 	Binary bool
+	// Metrics, when non-nil, records send outcomes, bytes and latency.
+	Metrics *ClientMetrics
 }
 
 var _ Uplink = (*HTTP)(nil)
@@ -58,6 +86,21 @@ func (u *HTTP) SendSync(batch wire.Batch) error {
 }
 
 func (u *HTTP) post(data []byte) error {
+	start := time.Now()
+	err := u.doPost(data)
+	if m := u.Metrics; m != nil {
+		m.latency.Observe(time.Since(start).Seconds())
+		if err != nil {
+			m.errored.Inc()
+		} else {
+			m.ok.Inc()
+			m.bytes.Add(float64(len(data)))
+		}
+	}
+	return err
+}
+
+func (u *HTTP) doPost(data []byte) error {
 	contentType := "application/json"
 	if u.Binary {
 		contentType = "application/octet-stream"

@@ -118,12 +118,14 @@ func (u *Sim) Send(batch wire.Batch, done func(err error)) {
 		u.finish(done, err)
 		return
 	}
-	u.stats.BytesSent += uint64(size)
 	if u.down {
+		// The batch never reaches the wire during an outage, so it must
+		// not count toward BytesSent (the bandwidth-cost metric).
 		u.stats.Lost++
 		u.finish(done, ErrDown)
 		return
 	}
+	u.stats.BytesSent += uint64(size)
 	delay := u.latency()
 	if u.cfg.BandwidthBps > 0 {
 		delay += time.Duration(float64(size) / u.cfg.BandwidthBps * float64(time.Second))

@@ -128,6 +128,31 @@ func TestSimOutage(t *testing.T) {
 	}
 }
 
+func TestSimOutageDoesNotCountBytesSent(t *testing.T) {
+	sim := simkit.New(1)
+	sink := &captureSink{}
+	u := NewSim(sim, sink, SimConfig{})
+	u.SetDown(true)
+	var gotErr error
+	u.Send(testBatch(1), func(err error) { gotErr = err })
+	sim.Run()
+	if !errors.Is(gotErr, ErrDown) {
+		t.Fatalf("err = %v, want ErrDown", gotErr)
+	}
+	// A batch dropped at the down link never reached the wire, so it
+	// must not inflate the bandwidth-cost accounting.
+	if st := u.Stats(); st.BytesSent != 0 || st.Sent != 1 || st.Lost != 1 {
+		t.Fatalf("stats = %+v, want BytesSent 0, Sent 1, Lost 1", st)
+	}
+	// After the link recovers, bytes are counted again.
+	u.SetDown(false)
+	u.Send(testBatch(2), func(error) {})
+	sim.Run()
+	if st := u.Stats(); st.BytesSent == 0 {
+		t.Fatalf("stats = %+v, want BytesSent > 0 after recovery", st)
+	}
+}
+
 func TestSimOutageBeginsMidFlight(t *testing.T) {
 	sim := simkit.New(1)
 	sink := &captureSink{}

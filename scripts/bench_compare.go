@@ -1,0 +1,150 @@
+// Command bench_compare gates perf regressions in CI: it diffs a fresh
+// meshmon-bench report against the committed baseline (BENCH_1.json)
+// and fails when any experiment's ns/op or allocs/op grew beyond the
+// allowed ratio. Experiments present only in the fresh report are
+// listed as "new" and never fail the gate — a baseline refresh picks
+// them up on the next commit of BENCH_1.json.
+//
+// Usage:
+//
+//	go run ./scripts -baseline BENCH_1.json -new BENCH_NEW.json
+//	go run ./scripts -max-growth 1.25   # ratio that trips the gate
+//
+// Allocation counts are deterministic under -j 1, so the allocs gate is
+// tight by design; wall-clock is noisy on shared runners, which is why
+// the threshold is a generous 1.25x rather than a few percent.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type result struct {
+	ID          string `json:"id"`
+	Name        string `json:"name"`
+	Rows        int    `json:"rows"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+}
+
+type report struct {
+	GoVersion string   `json:"go_version"`
+	Results   []result `json:"results"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_1.json", "committed baseline report")
+	freshPath := flag.String("new", "BENCH_NEW.json", "freshly generated report")
+	maxGrowth := flag.Float64("max-growth", 1.25, "fail when ns/op or allocs/op exceed baseline by this ratio")
+	flag.Parse()
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	base := map[string]result{}
+	for _, r := range baseline.Results {
+		base[r.ID] = r
+	}
+
+	fmt.Printf("%-4s %-22s %14s %14s %12s %12s  %s\n",
+		"id", "name", "ns/op", "Δns", "allocs/op", "Δallocs", "verdict")
+	var failures []string
+	for _, now := range fresh.Results {
+		was, ok := base[now.ID]
+		if !ok {
+			fmt.Printf("%-4s %-22s %14d %14s %12d %12s  new (no baseline)\n",
+				now.ID, now.Name, now.NsPerOp, "-", now.AllocsPerOp, "-")
+			continue
+		}
+		nsRatio := ratio(float64(now.NsPerOp), float64(was.NsPerOp))
+		alRatio := ratio(float64(now.AllocsPerOp), float64(was.AllocsPerOp))
+		verdict := "ok"
+		if nsRatio > *maxGrowth {
+			verdict = fmt.Sprintf("FAIL ns/op %.2fx", nsRatio)
+			failures = append(failures, fmt.Sprintf("%s: ns/op %d -> %d (%.2fx > %.2fx)",
+				now.ID, was.NsPerOp, now.NsPerOp, nsRatio, *maxGrowth))
+		}
+		if alRatio > *maxGrowth {
+			if verdict == "ok" {
+				verdict = fmt.Sprintf("FAIL allocs %.2fx", alRatio)
+			}
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %d -> %d (%.2fx > %.2fx)",
+				now.ID, was.AllocsPerOp, now.AllocsPerOp, alRatio, *maxGrowth))
+		}
+		fmt.Printf("%-4s %-22s %14d %14s %12d %12s  %s\n",
+			now.ID, now.Name, now.NsPerOp, delta(nsRatio), now.AllocsPerOp, delta(alRatio), verdict)
+	}
+
+	// Experiments that vanished from the fresh report usually mean a
+	// renamed ID — flag them so the baseline gets refreshed on purpose.
+	seen := map[string]bool{}
+	for _, r := range fresh.Results {
+		seen[r.ID] = true
+	}
+	var gone []string
+	for id := range base {
+		if !seen[id] {
+			gone = append(gone, id)
+		}
+	}
+	sort.Strings(gone)
+	for _, id := range gone {
+		fmt.Printf("%-4s %-22s missing from fresh report (renamed or removed?)\n", id, base[id].Name)
+	}
+
+	if len(failures) > 0 {
+		fmt.Println("\nperf gate FAILED:")
+		for _, f := range failures {
+			fmt.Println("  " + f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\nperf gate OK (%d experiments within %.2fx of baseline)\n", len(fresh.Results), *maxGrowth)
+}
+
+func load(path string) (report, error) {
+	var rep report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return rep, fmt.Errorf("%s: no results", path)
+	}
+	return rep, nil
+}
+
+// ratio guards the zero-baseline case: a metric that was zero and now
+// is not counts as infinite growth only when the new value is material.
+func ratio(now, was float64) float64 {
+	if was <= 0 {
+		if now <= 0 {
+			return 1
+		}
+		return now
+	}
+	return now / was
+}
+
+func delta(r float64) string {
+	return fmt.Sprintf("%+.1f%%", (r-1)*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench_compare:", err)
+	os.Exit(1)
+}
