@@ -57,4 +57,6 @@ func BenchmarkT5IngestThroughput(b *testing.B) { benchTable(b, experiments.T5Ing
 
 func BenchmarkT6IngestSaturation(b *testing.B) { benchTable(b, experiments.T6IngestSaturation) }
 
+func BenchmarkT7CrashRecovery(b *testing.B) { benchTable(b, experiments.T7CrashRecovery) }
+
 func BenchmarkF12LargeTransfers(b *testing.B) { benchTable(b, experiments.F12LargeTransfers) }

@@ -2,15 +2,24 @@
 // JSON ingest API, the web dashboard and the alert engine, backed by the
 // in-memory time-series store. Monitoring clients (or meshmon-replay)
 // POST wire.Batch JSON to /api/v1/ingest.
+//
+// With -data-dir set, the collector is crash-safe: accepted batches are
+// appended to a write-ahead log before they are acknowledged, periodic
+// checkpoints snapshot the full collector state, and on startup the
+// newest snapshot plus the WAL tail rebuild exactly the state that was
+// acknowledged before the previous process died.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"lorameshmon/internal/alert"
@@ -18,6 +27,7 @@ import (
 	"lorameshmon/internal/dashboard"
 	"lorameshmon/internal/metrics"
 	"lorameshmon/internal/tsdb"
+	"lorameshmon/internal/wal"
 )
 
 func main() {
@@ -28,8 +38,12 @@ func main() {
 		hbTimeout   = flag.Float64("node-down-after", 90, "node-down alert after this many record-seconds of heartbeat silence")
 		checkEvery  = flag.Duration("check-every", 10*time.Second, "alert evaluation cadence (wall clock)")
 		title       = flag.String("title", "LoRa Mesh Monitor", "dashboard title")
-		snapshot    = flag.String("snapshot", "", "persist the time-series store to this file")
-		snapEvery   = flag.Duration("snapshot-every", time.Minute, "snapshot cadence when -snapshot is set")
+		dataDir     = flag.String("data-dir", "", "durability directory (WAL + snapshots); empty disables crash safety")
+		fsync       = flag.String("fsync", "batch", "WAL fsync policy: batch (acked = durable), interval, or off")
+		fsyncEvery  = flag.Duration("fsync-every", 100*time.Millisecond, "flush cadence under -fsync interval")
+		segBytes    = flag.Int64("wal-segment-bytes", 8<<20, "rotate WAL segments at this size")
+		snapshot    = flag.String("snapshot", "", "persist only the time-series store to this file (legacy; superseded by -data-dir)")
+		snapEvery   = flag.Duration("snapshot-every", time.Minute, "checkpoint cadence with -data-dir; tsdb snapshot cadence with -snapshot")
 		enablePprof = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 	)
 	flag.Parse()
@@ -39,18 +53,44 @@ func main() {
 	reg := metrics.NewRegistry()
 	db := tsdb.New()
 	db.Instrument(reg)
-	if *snapshot != "" {
+	if *snapshot != "" && *dataDir == "" {
 		if err := db.RestoreFile(*snapshot); err == nil {
 			log.Printf("restored time-series store from %s (%d points)", *snapshot, db.PointCount())
 		} else if !os.IsNotExist(errUnwrapAll(err)) {
 			log.Printf("warning: could not restore %s: %v", *snapshot, err)
 		}
 	}
+
+	var wlog *wal.Log
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wlog, err = wal.Open(*dataDir, wal.Options{
+			Sync:         policy,
+			SyncEvery:    *fsyncEvery,
+			SegmentBytes: *segBytes,
+			Metrics:      reg,
+		})
+		if err != nil {
+			log.Fatalf("open WAL: %v", err)
+		}
+	}
 	coll := collector.New(db, collector.Config{
 		RecentPackets: *recent,
 		RetentionS:    *retention,
 		Metrics:       reg,
+		WAL:           wlog,
 	})
+	if wlog != nil {
+		stats, err := coll.Recover(wlog)
+		if err != nil {
+			log.Fatalf("recover from %s: %v", *dataDir, err)
+		}
+		log.Printf("recovered from %s in %v: %d batches replayed (%d bytes), %d torn bytes dropped; store holds %d points",
+			*dataDir, stats.Duration.Round(time.Millisecond), stats.Batches, stats.Bytes, stats.Truncated, db.PointCount())
+	}
 	engine := alert.NewEngine(coll, alert.Config{HeartbeatTimeoutS: *hbTimeout})
 	engine.Instrument(reg)
 	dash := dashboard.New(coll, engine, dashboard.Config{Title: *title})
@@ -66,7 +106,18 @@ func main() {
 		}
 	}()
 
-	if *snapshot != "" {
+	switch {
+	case wlog != nil:
+		// Periodic checkpoints bound recovery time: snapshot the collector
+		// and drop the WAL segments the snapshot covers.
+		go func() {
+			for range time.Tick(*snapEvery) {
+				if err := coll.Checkpoint(wlog); err != nil {
+					log.Printf("checkpoint failed: %v", err)
+				}
+			}
+		}()
+	case *snapshot != "":
 		go func() {
 			for range time.Tick(*snapEvery) {
 				if err := db.SnapshotFile(*snapshot); err != nil {
@@ -95,8 +146,45 @@ func main() {
 		log.Printf("pprof enabled at /debug/pprof/")
 	}
 	mux.Handle("/", dash.Handler())
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
 	log.Printf("meshmon-collector listening on %s (dashboard at /, ingest at /api/v1/ingest, metrics at /metrics)", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+
+	// SIGINT/SIGTERM drain in-flight requests, cut a final checkpoint and
+	// seal the WAL, so a clean restart replays nothing.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if wlog != nil {
+		if err := coll.Checkpoint(wlog); err != nil {
+			log.Printf("final checkpoint failed: %v", err)
+		}
+		if err := wlog.Seal(); err != nil {
+			log.Printf("seal WAL: %v", err)
+		}
+	} else if *snapshot != "" {
+		if err := db.SnapshotFile(*snapshot); err != nil {
+			log.Printf("final snapshot failed: %v", err)
+		}
+	}
+	log.Printf("meshmon-collector stopped")
 }
 
 // errUnwrapAll unwraps to the innermost error for os.IsNotExist checks.

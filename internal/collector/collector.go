@@ -33,6 +33,7 @@
 package collector
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -41,6 +42,7 @@ import (
 
 	"lorameshmon/internal/metrics"
 	"lorameshmon/internal/tsdb"
+	"lorameshmon/internal/wal"
 	"lorameshmon/internal/wire"
 )
 
@@ -62,6 +64,11 @@ type Config struct {
 	// tsdb/alert/uplink families on the same /metrics endpoint. A
 	// registry must back at most one collector (family names would clash).
 	Metrics *metrics.Registry
+	// WAL, when set, makes accepted batches durable: every batch that
+	// passes dedup is appended to the log before any in-memory state
+	// changes, so acknowledgement implies the batch survives a crash
+	// (subject to the log's fsync policy). Recover replays it on boot.
+	WAL *wal.Log
 }
 
 // DefaultConfig keeps the last 1000 packet records and all samples.
@@ -79,8 +86,9 @@ type NodeInfo struct {
 	Firmware    string
 
 	BatchesOK   uint64
-	BatchesLost uint64 // upload-sequence gaps
+	BatchesLost uint64 // upload-sequence gaps, net of late arrivals
 	BatchesDup  uint64
+	BatchesLate uint64 // out-of-order arrivals that filled an earlier gap
 	Records     uint64
 
 	LastStats  *wire.NodeStats
@@ -99,10 +107,55 @@ type nodeState struct {
 	info    NodeInfo
 	lastSeq uint64
 	seen    bool
+	// missing tracks sequence numbers counted into BatchesLost whose
+	// batch could still arrive late (uplink reordering): a batch with
+	// SeqNo < lastSeq found here is accepted and the loss reconciled,
+	// anything else below lastSeq is a true duplicate. Bounded by
+	// maxMissingTracked; overflow evicts the oldest gaps, whose late
+	// arrivals then count as duplicates (they stay counted lost).
+	missing map[uint64]struct{}
 	// stats holds cached append handles for the node's summary metrics,
 	// aligned with statsMetricNames; uptime is the heartbeat series.
 	stats  []*tsdb.Series
 	uptime *tsdb.Series
+}
+
+// maxMissingTracked bounds the per-node late-reorder window.
+const maxMissingTracked = 1024
+
+// addMissing records the gap [from, to] as lost-but-maybe-late,
+// keeping only the newest maxMissingTracked entries.
+func (st *nodeState) addMissing(from, to uint64) {
+	if st.missing == nil {
+		st.missing = make(map[uint64]struct{})
+	}
+	if to-from+1 >= maxMissingTracked {
+		clear(st.missing)
+		from = to - maxMissingTracked + 1
+	}
+	for s := to; ; s-- {
+		if len(st.missing) >= maxMissingTracked {
+			st.evictOldestMissing()
+		}
+		st.missing[s] = struct{}{}
+		if s == from {
+			return
+		}
+	}
+}
+
+// evictOldestMissing drops the smallest tracked sequence number — the
+// gap least likely to still arrive.
+func (st *nodeState) evictOldestMissing() {
+	oldest, first := uint64(0), true
+	for s := range st.missing {
+		if first || s < oldest {
+			oldest, first = s, false
+		}
+	}
+	if !first {
+		delete(st.missing, oldest)
+	}
 }
 
 // statsMetricNames lists the node summary metrics in the fixed order
@@ -326,7 +379,13 @@ func (c *Collector) MaxTS() float64 {
 	return c.maxTS
 }
 
+// ErrDurability wraps write-ahead-log failures on the ingest path, so
+// the HTTP layer can answer 503 (retry me) instead of 400 (bad batch).
+var ErrDurability = errors.New("collector: durability failure")
+
 // Ingest implements uplink.Sink: it validates and stores one batch.
+// With a WAL configured, a nil return means the batch is as durable as
+// the log's fsync policy promises.
 func (c *Collector) Ingest(b wire.Batch) error {
 	start := time.Now()
 	if err := b.Validate(); err != nil {
@@ -336,7 +395,7 @@ func (c *Collector) Ingest(b wire.Batch) error {
 		c.inst.batchesRejected.Inc()
 		return fmt.Errorf("collector: %w", err)
 	}
-	stored, err := c.ingestLocked(b)
+	stored, err := c.ingestLocked(b, true)
 	if err != nil {
 		return err
 	}
@@ -359,9 +418,51 @@ func (c *Collector) addIngestBytes(n int) {
 	c.inst.bytes.Add(float64(n))
 }
 
+// dedupAction classifies a batch against the node's sequence state.
+type dedupAction int
+
+const (
+	actFirst   dedupAction = iota // first batch ever seen from the node
+	actInOrder                    // lastSeq+1, the common case
+	actGap                        // jumped ahead; intervening batches lost
+	actRestart                    // SeqNo 1 after a higher lastSeq: agent reset
+	actLate                       // fills a tracked gap; reconcile the loss
+	actDup                        // already ingested; drop
+)
+
+// classify runs the dedup state machine without mutating anything, so
+// the WAL append can sit between the decision and the state change.
+//
+// The two subtle branches, pinned by TestDedupStateMachine:
+//   - SeqNo 1 is an agent restart only when lastSeq != 1; a retransmitted
+//     first batch (lastSeq == 1) is a duplicate, not a restart — treating
+//     it as a restart double-ingested its records.
+//   - SeqNo < lastSeq is a late arrival (accept, un-count the loss) when
+//     the gap is still tracked in st.missing, and a duplicate otherwise.
+func (st *nodeState) classify(seqNo uint64) dedupAction {
+	switch {
+	case !st.seen:
+		return actFirst
+	case seqNo == st.lastSeq+1:
+		return actInOrder
+	case seqNo > st.lastSeq+1:
+		return actGap
+	case seqNo == 1 && st.lastSeq != 1:
+		return actRestart
+	default:
+		if _, ok := st.missing[seqNo]; ok {
+			return actLate
+		}
+		return actDup
+	}
+}
+
 // ingestLocked stores the batch and reports whether it was accepted
-// (false for duplicates).
-func (c *Collector) ingestLocked(b wire.Batch) (bool, error) {
+// (false for duplicates). With persist set and a WAL configured, the
+// batch is appended to the log after the dedup decision and before any
+// state mutation — a WAL failure leaves the collector exactly as if the
+// batch never arrived, so the client's retry replays cleanly.
+func (c *Collector) ingestLocked(b wire.Batch, persist bool) (bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
@@ -370,20 +471,34 @@ func (c *Collector) ingestLocked(b wire.Batch) (bool, error) {
 		st = &nodeState{info: NodeInfo{ID: b.Node, FirstSeenTS: b.SentAt}}
 		c.nodes[b.Node] = st
 	}
-	switch {
-	case !st.seen:
-		st.seen = true
-	case b.SeqNo == st.lastSeq+1:
-		// in order
-	case b.SeqNo > st.lastSeq+1:
-		st.info.BatchesLost += b.SeqNo - st.lastSeq - 1
-	case b.SeqNo == 1:
-		// agent restarted; its sequence space reset
-	default:
+	act := st.classify(b.SeqNo)
+	if act == actDup {
 		st.info.BatchesDup++
 		return false, nil
 	}
-	st.lastSeq = b.SeqNo
+	if persist && c.cfg.WAL != nil {
+		if err := c.cfg.WAL.Append(b); err != nil {
+			return false, fmt.Errorf("%w: %v", ErrDurability, err)
+		}
+	}
+	switch act {
+	case actFirst:
+		st.seen = true
+	case actGap:
+		st.info.BatchesLost += b.SeqNo - st.lastSeq - 1
+		st.addMissing(st.lastSeq+1, b.SeqNo-1)
+	case actRestart:
+		// The agent's sequence space reset; tracked gaps from the old
+		// space can never be told apart from new numbers.
+		clear(st.missing)
+	case actLate:
+		delete(st.missing, b.SeqNo)
+		st.info.BatchesLost--
+		st.info.BatchesLate++
+	}
+	if act != actLate {
+		st.lastSeq = b.SeqNo
+	}
 	st.info.BatchesOK++
 	st.info.Records += uint64(b.Len())
 	if b.SentAt > st.info.LastSeenTS {

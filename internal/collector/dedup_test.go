@@ -1,0 +1,162 @@
+package collector
+
+import (
+	"testing"
+
+	"lorameshmon/internal/wire"
+)
+
+// TestDedupStateMachine pins the ingest dedup semantics with a
+// table-driven walk over the whole state machine. Two of these cases
+// are regressions:
+//
+//   - "retransmit of first batch": SeqNo 1 arriving again while lastSeq
+//     is still 1 used to match the restart branch and double-ingest the
+//     batch's records.
+//   - "late reorder": a batch filling a tracked sequence gap used to be
+//     dropped as a duplicate with BatchesLost never reconciled.
+func TestDedupStateMachine(t *testing.T) {
+	type step struct {
+		seq    uint64
+		accept bool
+	}
+	cases := []struct {
+		name                string
+		steps               []step
+		ok, lost, dup, late uint64
+	}{
+		{
+			name:  "in-order",
+			steps: []step{{1, true}, {2, true}, {3, true}},
+			ok:    3,
+		},
+		{
+			name:  "retransmit of first batch",
+			steps: []step{{1, true}, {1, false}},
+			ok:    1, dup: 1,
+		},
+		{
+			name:  "genuine restart",
+			steps: []step{{1, true}, {2, true}, {3, true}, {1, true}},
+			ok:    4,
+		},
+		{
+			name:  "gap",
+			steps: []step{{1, true}, {2, true}, {5, true}},
+			ok:    3, lost: 2,
+		},
+		{
+			name: "late reorder fills the gap",
+			steps: []step{
+				{1, true}, {2, true}, {5, true}, // 3 and 4 counted lost
+				{3, true}, {4, true}, // late arrivals reconcile the loss
+			},
+			ok: 5, late: 2,
+		},
+		{
+			name: "late batch retransmitted",
+			steps: []step{
+				{1, true}, {2, true}, {5, true},
+				{3, true},  // late, fills the gap
+				{3, false}, // now a true duplicate
+			},
+			ok: 4, lost: 1, dup: 1, late: 1,
+		},
+		{
+			name: "old seq outside tracked gaps is a duplicate",
+			steps: []step{
+				{1, true}, {2, true}, {5, true},
+				{2, false}, // 2 was ingested, not lost
+			},
+			ok: 3, lost: 2, dup: 1,
+		},
+		{
+			name: "in-order resumes after late arrival",
+			steps: []step{
+				{1, true}, {2, true}, {5, true},
+				{4, true}, // late; must NOT advance lastSeq
+				{6, true}, // still in order relative to 5
+			},
+			ok: 5, lost: 1, late: 1,
+		},
+		{
+			name: "restart clears tracked gaps",
+			steps: []step{
+				{1, true}, {2, true}, {5, true}, // missing {3,4}
+				{1, true}, // restart: old sequence space is gone
+				{2, true}, {3, true}, {4, true}, {5, true}, {6, true},
+				{4, false}, // old-space 4 must NOT be resurrected as late
+			},
+			ok: 9, lost: 2, dup: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newCollector()
+			for i, s := range tc.steps {
+				b := wire.Batch{
+					Node: 1, SeqNo: s.seq, SentAt: float64(i + 1),
+					Heartbeats: []wire.Heartbeat{{TS: float64(i + 1), Node: 1}},
+				}
+				stored, err := c.ingestLocked(b, true)
+				if err != nil {
+					t.Fatalf("step %d (seq %d): %v", i, s.seq, err)
+				}
+				if stored != s.accept {
+					t.Fatalf("step %d (seq %d): stored=%v, want %v", i, s.seq, stored, s.accept)
+				}
+			}
+			n, _ := c.Node(1)
+			if n.BatchesOK != tc.ok || n.BatchesLost != tc.lost ||
+				n.BatchesDup != tc.dup || n.BatchesLate != tc.late {
+				t.Fatalf("counters = ok:%d lost:%d dup:%d late:%d, want ok:%d lost:%d dup:%d late:%d",
+					n.BatchesOK, n.BatchesLost, n.BatchesDup, n.BatchesLate,
+					tc.ok, tc.lost, tc.dup, tc.late)
+			}
+			// Accepted batches carry one heartbeat each; a double-ingested
+			// retransmit would inflate both record counters.
+			if n.Records != tc.ok {
+				t.Fatalf("Records = %d, want %d", n.Records, tc.ok)
+			}
+			if got := c.Stats(); got.BatchesIngested != tc.ok || got.RecordsIngested != tc.ok {
+				t.Fatalf("stats = %+v, want %d ingested", got, tc.ok)
+			}
+		})
+	}
+}
+
+// TestMissingWindowBounded checks the late-reorder tracker stays within
+// maxMissingTracked and evicts oldest-first.
+func TestMissingWindowBounded(t *testing.T) {
+	c := newCollector()
+	ing := func(seq uint64) {
+		if _, err := c.ingestLocked(wire.Batch{Node: 1, SeqNo: seq, SentAt: float64(seq)}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ing(1)
+	// One huge gap: only the newest maxMissingTracked entries survive.
+	ing(3 * maxMissingTracked)
+	c.mu.RLock()
+	st := c.nodes[1]
+	tracked := len(st.missing)
+	_, hasOld := st.missing[2]
+	_, hasNew := st.missing[3*maxMissingTracked-1]
+	c.mu.RUnlock()
+	if tracked != maxMissingTracked {
+		t.Fatalf("tracked = %d, want %d", tracked, maxMissingTracked)
+	}
+	if hasOld || !hasNew {
+		t.Fatalf("eviction kept the wrong end: hasOld=%v hasNew=%v", hasOld, hasNew)
+	}
+	// An evicted gap's late arrival is a duplicate (stays counted lost)...
+	stored, err := c.ingestLocked(wire.Batch{Node: 1, SeqNo: 2, SentAt: 99}, true)
+	if err != nil || stored {
+		t.Fatalf("evicted gap accepted as late: stored=%v err=%v", stored, err)
+	}
+	// ...while a tracked one reconciles.
+	stored, err = c.ingestLocked(wire.Batch{Node: 1, SeqNo: 3*maxMissingTracked - 1, SentAt: 100}, true)
+	if err != nil || !stored {
+		t.Fatalf("tracked gap rejected: stored=%v err=%v", stored, err)
+	}
+}

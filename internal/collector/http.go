@@ -2,6 +2,7 @@ package collector
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -116,6 +117,12 @@ func (c *Collector) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := c.Ingest(batch); err != nil {
+		// A durability failure is the server's problem, not the batch's:
+		// tell the client to retry rather than drop the data.
+		if errors.Is(err, ErrDurability) {
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}

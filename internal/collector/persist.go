@@ -1,0 +1,179 @@
+package collector
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"lorameshmon/internal/tsdb"
+	"lorameshmon/internal/wal"
+	"lorameshmon/internal/wire"
+)
+
+// Snapshot + WAL recovery for the collector. A checkpoint captures the
+// node registry, link observations, recent-packet ring, collector-wide
+// counters and the whole time-series store in one gob stream, cut
+// exactly on a batch boundary (both the snapshot and every ingest hold
+// c.mu). Recovery restores the newest snapshot and replays the WAL tail
+// through the normal dedup state machine, so the rebuilt state is
+// identical to what the collector had acknowledged before the crash.
+
+// collectorSnapshotVersion guards the snapshot schema.
+const collectorSnapshotVersion = 1
+
+// nodeDump is one node's registry entry in a snapshot (exported fields
+// for gob).
+type nodeDump struct {
+	Info    NodeInfo
+	LastSeq uint64
+	Seen    bool
+	Missing []uint64 // tracked late-reorder gaps, sorted
+}
+
+// snapshotDump is the on-disk model of a collector checkpoint.
+type snapshotDump struct {
+	Version int
+	Nodes   []nodeDump // sorted by node ID
+	Links   []LinkObs  // sorted by (tx, rx)
+	Recent  []wire.PacketRecord
+	Stats   Stats
+	MaxTS   float64
+	DB      tsdb.SnapshotDump
+}
+
+// WriteSnapshot serialises the collector's full state (registry, links,
+// recent packets, counters and the time-series store) to w as one gob
+// stream, cut on a batch boundary.
+func (c *Collector) WriteSnapshot(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writeSnapshotLocked(w)
+}
+
+// writeSnapshotLocked is WriteSnapshot with c.mu already held (the
+// checkpoint path locks before cutting the WAL).
+func (c *Collector) writeSnapshotLocked(w io.Writer) error {
+	dump := snapshotDump{
+		Version: collectorSnapshotVersion,
+		Recent:  c.recentOldestFirstLocked(),
+		Stats:   c.stats,
+		MaxTS:   c.maxTS,
+		DB:      c.db.Dump(),
+	}
+	for _, st := range c.nodes {
+		nd := nodeDump{Info: st.info, LastSeq: st.lastSeq, Seen: st.seen}
+		for s := range st.missing {
+			nd.Missing = append(nd.Missing, s)
+		}
+		sort.Slice(nd.Missing, func(i, j int) bool { return nd.Missing[i] < nd.Missing[j] })
+		dump.Nodes = append(dump.Nodes, nd)
+	}
+	sort.Slice(dump.Nodes, func(i, j int) bool { return dump.Nodes[i].Info.ID < dump.Nodes[j].Info.ID })
+	for _, l := range c.links {
+		dump.Links = append(dump.Links, *l)
+	}
+	sort.Slice(dump.Links, func(i, j int) bool {
+		if dump.Links[i].Tx != dump.Links[j].Tx {
+			return dump.Links[i].Tx < dump.Links[j].Tx
+		}
+		return dump.Links[i].Rx < dump.Links[j].Rx
+	})
+	if err := gob.NewEncoder(w).Encode(dump); err != nil {
+		return fmt.Errorf("collector: snapshot: %w", err)
+	}
+	return nil
+}
+
+// recentOldestFirstLocked linearises the recent-packet ring, oldest
+// first, for snapshotting.
+func (c *Collector) recentOldestFirstLocked() []wire.PacketRecord {
+	n := len(c.recent)
+	if n == 0 {
+		return nil
+	}
+	out := make([]wire.PacketRecord, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, c.recent[(c.recentHead+i)%n])
+	}
+	return out
+}
+
+// RestoreSnapshot replaces the collector's state with the snapshot read
+// from r. Cached series handles are rebuilt lazily on the next ingest.
+func (c *Collector) RestoreSnapshot(r io.Reader) error {
+	var dump snapshotDump
+	if err := gob.NewDecoder(r).Decode(&dump); err != nil {
+		return fmt.Errorf("collector: restore: %w", err)
+	}
+	if dump.Version != collectorSnapshotVersion {
+		return fmt.Errorf("collector: restore: unsupported snapshot version %d", dump.Version)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nodes = make(map[wire.NodeID]*nodeState, len(dump.Nodes))
+	for _, nd := range dump.Nodes {
+		st := &nodeState{info: nd.Info, lastSeq: nd.LastSeq, seen: nd.Seen}
+		if len(nd.Missing) > 0 {
+			st.missing = make(map[uint64]struct{}, len(nd.Missing))
+			for _, s := range nd.Missing {
+				st.missing[s] = struct{}{}
+			}
+		}
+		c.nodes[nd.Info.ID] = st
+	}
+	c.links = make(map[linkKey]*LinkObs, len(dump.Links))
+	for i := range dump.Links {
+		l := dump.Links[i]
+		c.links[linkKey{tx: l.Tx, rx: l.Rx}] = &l
+	}
+	// Keep the newest entries when the restored ring exceeds the
+	// configured capacity; an under-full ring restores with head 0,
+	// matching addRecent's append-until-full invariant.
+	recent := dump.Recent
+	if len(recent) > c.cfg.RecentPackets {
+		recent = recent[len(recent)-c.cfg.RecentPackets:]
+	}
+	c.recent = append([]wire.PacketRecord(nil), recent...)
+	c.recentHead = 0
+	c.stats = dump.Stats
+	c.maxTS = dump.MaxTS
+	c.series = make(map[seriesKey]*tsdb.Series)
+	return c.db.Load(dump.DB)
+}
+
+// Checkpoint cuts a WAL snapshot of the collector: it holds the ingest
+// lock across the segment rotation and the state dump, so the snapshot
+// covers exactly the batches appended before the cut and the replay
+// tail starts exactly after it.
+func (c *Collector) Checkpoint(log *wal.Log) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return log.Checkpoint(c.writeSnapshotLocked)
+}
+
+// Recover rebuilds the collector from log: restore the newest snapshot
+// (if any), then replay the uncovered WAL tail through the normal
+// ingest path — minus the WAL append (the batches are already in the
+// log) and the OnIngest hook (downstream consumers saw them before the
+// crash). Counters in Stats and NodeInfo advance exactly as they did
+// originally, so recovered state matches pre-crash state.
+func (c *Collector) Recover(log *wal.Log) (wal.ReplayStats, error) {
+	if rc, ok, err := log.Snapshot(); err != nil {
+		return wal.ReplayStats{}, err
+	} else if ok {
+		err := c.RestoreSnapshot(rc)
+		rc.Close()
+		if err != nil {
+			return wal.ReplayStats{}, err
+		}
+	}
+	return log.Replay(func(b wire.Batch) error {
+		if err := b.Validate(); err != nil {
+			return fmt.Errorf("collector: recover: %w", err)
+		}
+		_, err := c.ingestLocked(b, false)
+		return err
+	})
+}

@@ -36,6 +36,7 @@ func All() []Experiment {
 		{"T4", "overhead-split", T4OverheadSplit},
 		{"T5", "ingest-throughput", T5IngestThroughput},
 		{"T6", "ingest-saturation", T6IngestSaturation},
+		{"T7", "crash-recovery", T7CrashRecovery},
 		{"A1", "ablation-batching", AblationBatching},
 		{"A2", "ablation-drop-policy", AblationDropPolicy},
 		{"A3", "ablation-capture", AblationCapture},

@@ -27,9 +27,14 @@ type SnapshotDump struct {
 	Metrics map[string][]SeriesDump
 }
 
-// Snapshot writes the full store to w.
-func (db *DB) Snapshot(w io.Writer) error {
+// Dump extracts the full store as a SnapshotDump — the building block
+// for embedding the store inside a larger snapshot stream (the
+// collector's WAL checkpoints encode collector state and the store with
+// a single gob encoder, since two encoders cannot safely share one
+// buffered reader on the decode side).
+func (db *DB) Dump() SnapshotDump {
 	db.mu.Lock()
+	defer db.mu.Unlock()
 	dump := SnapshotDump{
 		Version: snapshotVersion,
 		Metrics: make(map[string][]SeriesDump, len(db.metrics)),
@@ -43,20 +48,11 @@ func (db *DB) Snapshot(w io.Writer) error {
 			})
 		}
 	}
-	db.mu.Unlock()
-
-	if err := gob.NewEncoder(w).Encode(dump); err != nil {
-		return fmt.Errorf("tsdb: snapshot: %w", err)
-	}
-	return nil
+	return dump
 }
 
-// Restore replaces the store's contents with the snapshot read from r.
-func (db *DB) Restore(r io.Reader) error {
-	var dump SnapshotDump
-	if err := gob.NewDecoder(r).Decode(&dump); err != nil {
-		return fmt.Errorf("tsdb: restore: %w", err)
-	}
+// Load replaces the store's contents with the dump.
+func (db *DB) Load(dump SnapshotDump) error {
 	if dump.Version != snapshotVersion {
 		return fmt.Errorf("tsdb: restore: unsupported snapshot version %d", dump.Version)
 	}
@@ -83,6 +79,23 @@ func (db *DB) Restore(r io.Reader) error {
 	db.points = points
 	db.mu.Unlock()
 	return nil
+}
+
+// Snapshot writes the full store to w.
+func (db *DB) Snapshot(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(db.Dump()); err != nil {
+		return fmt.Errorf("tsdb: snapshot: %w", err)
+	}
+	return nil
+}
+
+// Restore replaces the store's contents with the snapshot read from r.
+func (db *DB) Restore(r io.Reader) error {
+	var dump SnapshotDump
+	if err := gob.NewDecoder(r).Decode(&dump); err != nil {
+		return fmt.Errorf("tsdb: restore: %w", err)
+	}
+	return db.Load(dump)
 }
 
 // SnapshotFile atomically writes the snapshot to path (tmp + rename).

@@ -5,6 +5,7 @@
 #   scripts/ci.sh vet       # gofmt -l strictness + go vet
 #   scripts/ci.sh build     # full build
 #   scripts/ci.sh test      # race-enabled tests
+#   scripts/ci.sh recover   # crash-safety suite (WAL, dedup, recovery) under -race
 #   scripts/ci.sh bench     # perf harness -> BENCH_NEW.json
 #   scripts/ci.sh compare   # perf gate vs committed BENCH_1.json
 #   scripts/ci.sh all       # everything, in order (the default)
@@ -33,13 +34,23 @@ stage_test() {
   go test -race ./...
 }
 
+stage_recover() {
+  echo "== crash-safety suite =="
+  # The durability tests run again, separately and by name: a refactor
+  # that accidentally drops them from the suite fails this stage instead
+  # of silently passing stage_test.
+  go test -race -count=1 -run 'WAL|Crash|Recovery|Dedup|Torn|Durability|Snapshot' \
+    ./internal/wal ./internal/collector ./internal/tsdb
+}
+
 stage_bench() {
   echo "== bench harness =="
-  # Best-of-3 timing: wall-clock on shared runners wobbles ~25%
+  # Best-of-5 timing: wall-clock on shared runners wobbles ~25%
   # run-to-run at one rep, which would flake the 1.25x perf gate;
-  # best-of-3 keeps run-to-run noise near 10%. Allocation counts are
-  # deterministic at -j 1 regardless.
-  go run ./cmd/meshmon-bench -reps 3 -o BENCH_NEW.json
+  # best-of-3 still tripped it on random rows, best-of-5 keeps
+  # run-to-run noise under 10%. Allocation counts are deterministic
+  # at -j 1 regardless.
+  go run ./cmd/meshmon-bench -reps 5 -o BENCH_NEW.json
 }
 
 stage_compare() {
@@ -51,12 +62,14 @@ case "${1:-all}" in
   vet)     stage_vet ;;
   build)   stage_build ;;
   test)    stage_test ;;
+  recover) stage_recover ;;
   bench)   stage_bench ;;
   compare) stage_compare ;;
   all)
     stage_vet
     stage_build
     stage_test
+    stage_recover
     stage_bench
     stage_compare
     echo "CI OK"
