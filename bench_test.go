@@ -1,9 +1,13 @@
 package lorameshmon_test
 
 import (
+	"sync/atomic"
 	"testing"
 
+	"lorameshmon/internal/collector"
 	"lorameshmon/internal/experiments"
+	"lorameshmon/internal/tsdb"
+	"lorameshmon/internal/wire"
 )
 
 // Each benchmark regenerates one table/figure of the evaluation (see
@@ -59,4 +63,41 @@ func BenchmarkT6IngestSaturation(b *testing.B) { benchTable(b, experiments.T6Ing
 
 func BenchmarkT7CrashRecovery(b *testing.B) { benchTable(b, experiments.T7CrashRecovery) }
 
+func BenchmarkT8ParallelIngest(b *testing.B) { benchTable(b, experiments.T8ParallelIngest) }
+
 func BenchmarkF12LargeTransfers(b *testing.B) { benchTable(b, experiments.F12LargeTransfers) }
+
+// BenchmarkIngestParallel drives the collector's sharded ingest path
+// directly with b.RunParallel: each worker goroutine claims a distinct
+// node ID, so batches hash onto distinct shards and the measured
+// scaling reflects lock striping rather than dedup contention. Compare
+// across -cpu 1,4,8 to see the single-lock vs sharded difference.
+func BenchmarkIngestParallel(b *testing.B) {
+	c := collector.New(tsdb.New(), collector.Config{})
+	const perBatch = 32
+	var nextNode atomic.Uint32
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		node := wire.NodeID(nextNode.Add(1))
+		batch := wire.Batch{Node: node}
+		for i := 0; i < perBatch; i++ {
+			batch.Packets = append(batch.Packets, wire.PacketRecord{
+				Node: node, Event: wire.EventRx, Type: "HELLO",
+				Src: node + 1, Dst: wire.BroadcastID, Via: wire.BroadcastID,
+				Seq: uint16(i), TTL: 1, Size: 23,
+				RSSIdBm: -100, SNRdB: 5, ForUs: true, AirtimeMS: 46,
+			})
+		}
+		for seq := uint64(1); pb.Next(); seq++ {
+			batch.SeqNo = seq
+			batch.SentAt = float64(seq)
+			for i := range batch.Packets {
+				batch.Packets[i].TS = float64(seq)
+			}
+			if err := c.Ingest(batch); err != nil {
+				b.Errorf("ingest node %d seq %d: %v", node, seq, err)
+				return
+			}
+		}
+	})
+}

@@ -19,6 +19,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -35,6 +36,7 @@ func main() {
 		addr        = flag.String("addr", ":8080", "listen address")
 		retention   = flag.Float64("retention", 0, "drop samples older than this many seconds behind the newest (0 = keep all)")
 		recent      = flag.Int("recent", 1000, "packet records kept for the live-traffic view")
+		shards      = flag.Int("shards", 0, "node-partitioned ingest shards (0 = one per GOMAXPROCS)")
 		hbTimeout   = flag.Float64("node-down-after", 90, "node-down alert after this many record-seconds of heartbeat silence")
 		checkEvery  = flag.Duration("check-every", 10*time.Second, "alert evaluation cadence (wall clock)")
 		title       = flag.String("title", "LoRa Mesh Monitor", "dashboard title")
@@ -79,10 +81,12 @@ func main() {
 	}
 	coll := collector.New(db, collector.Config{
 		RecentPackets: *recent,
+		Shards:        *shards,
 		RetentionS:    *retention,
 		Metrics:       reg,
 		WAL:           wlog,
 	})
+	log.Printf("collector running %d ingest shards", coll.ShardCount())
 	if wlog != nil {
 		stats, err := coll.Recover(wlog)
 		if err != nil {
@@ -138,12 +142,17 @@ func main() {
 		w.Write([]byte(coll.PrometheusExposition())) //nolint:errcheck
 	})
 	if *enablePprof {
+		// Sample lock contention too, so residual contention in the
+		// sharded ingest path shows up under /debug/pprof/mutex and
+		// /debug/pprof/block.
+		runtime.SetMutexProfileFraction(5)
+		runtime.SetBlockProfileRate(int(time.Microsecond)) // 1 sample/µs blocked
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		log.Printf("pprof enabled at /debug/pprof/")
+		log.Printf("pprof enabled at /debug/pprof/ (with mutex + block profiling)")
 	}
 	mux.Handle("/", dash.Handler())
 

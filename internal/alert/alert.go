@@ -103,9 +103,11 @@ type engineInstruments struct {
 	checkLatency *metrics.Histogram
 }
 
-// Engine evaluates rules and tracks alert lifecycles.
+// Engine evaluates rules and tracks alert lifecycles. It reads the
+// collector through the View interface only, so any View implementation
+// can back it.
 type Engine struct {
-	coll    *collector.Collector
+	coll    collector.View
 	cfg     Config
 	active  map[alertKey]*Alert
 	history []Alert
@@ -133,8 +135,8 @@ func (e *Engine) Instrument(reg *metrics.Registry) {
 	}
 }
 
-// NewEngine builds an engine over coll.
-func NewEngine(coll *collector.Collector, cfg Config) *Engine {
+// NewEngine builds an engine reading through coll.
+func NewEngine(coll collector.View, cfg Config) *Engine {
 	d := DefaultConfig()
 	if cfg.HeartbeatTimeoutS <= 0 {
 		cfg.HeartbeatTimeoutS = d.HeartbeatTimeoutS

@@ -56,7 +56,7 @@ func (t Topology) Nodes() []wire.NodeID {
 // InferTopology reconstructs the mesh's direct links from telemetry:
 // every received single-hop HELLO observed since 'from' with at least
 // minObs observations becomes a directed edge transmitter→receiver.
-func InferTopology(c *collector.Collector, from float64, minObs uint64) Topology {
+func InferTopology(c collector.View, from float64, minObs uint64) Topology {
 	if minObs == 0 {
 		minObs = 1
 	}
@@ -129,7 +129,7 @@ func CompareTopology(inferred, truth Topology) Accuracy {
 // NetworkPDRFromStats estimates the application delivery ratio from the
 // latest per-node counter summaries: total delivered / total originated.
 // The second return is false when no node has reported data traffic yet.
-func NetworkPDRFromStats(c *collector.Collector) (float64, bool) {
+func NetworkPDRFromStats(c collector.View) (float64, bool) {
 	var sent, delivered uint64
 	for _, n := range c.Nodes() {
 		if n.LastStats == nil {
@@ -148,7 +148,7 @@ func NetworkPDRFromStats(c *collector.Collector) (float64, bool) {
 // timestamp at which the node reported routes to all n-1 peers, and
 // returns the network-wide convergence instant (the latest of them).
 // ok is false when some node never converged in the recorded data.
-func ConvergenceFromTelemetry(c *collector.Collector, n int) (float64, bool) {
+func ConvergenceFromTelemetry(c collector.View, n int) (float64, bool) {
 	if n < 2 {
 		return 0, true
 	}
@@ -182,7 +182,7 @@ func ConvergenceFromTelemetry(c *collector.Collector, n int) (float64, bool) {
 
 // PacketEventsIngested counts the packet-event records materialised in
 // the store over [from, to].
-func PacketEventsIngested(c *collector.Collector, from, to float64) uint64 {
+func PacketEventsIngested(c collector.View, from, to float64) uint64 {
 	var total uint64
 	for _, res := range c.DB().Query("mesh_packets", nil, from, to) {
 		total += uint64(len(res.Points))
@@ -207,7 +207,7 @@ func Completeness(visible, actual uint64) float64 {
 // SilentNodes returns registered nodes whose last heartbeat is older
 // than timeoutS at the given reference time, sorted by ID — the raw
 // material of the node-down detector.
-func SilentNodes(c *collector.Collector, now, timeoutS float64) []wire.NodeID {
+func SilentNodes(c collector.View, now, timeoutS float64) []wire.NodeID {
 	var out []wire.NodeID
 	for _, n := range c.Nodes() {
 		if now-n.LastBeatTS > timeoutS {
@@ -222,7 +222,7 @@ func SilentNodes(c *collector.Collector, now, timeoutS float64) []wire.NodeID {
 // attests to liveness since the previous one (gaps longer than
 // maxGapS count as downtime). It returns NaN when the node reported no
 // heartbeats in the window.
-func Availability(c *collector.Collector, node wire.NodeID, from, now, maxGapS float64) float64 {
+func Availability(c collector.View, node wire.NodeID, from, now, maxGapS float64) float64 {
 	res, ok := c.DB().QueryOne("node_uptime", tsdb.Labels{"node": node.String()}, from, now)
 	if !ok || len(res.Points) == 0 || now <= from {
 		return math.NaN()
@@ -262,7 +262,7 @@ type LinkQuality struct {
 
 // LinkMatrix returns the observed link qualities with demodulation
 // margin computed for the given spreading factor.
-func LinkMatrix(c *collector.Collector, sf phy.SpreadingFactor, from float64) []LinkQuality {
+func LinkMatrix(c collector.View, sf phy.SpreadingFactor, from float64) []LinkQuality {
 	links := c.Links(from)
 	out := make([]LinkQuality, len(links))
 	floor := phy.SNRFloorDB(sf)

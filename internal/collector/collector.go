@@ -4,6 +4,21 @@
 // the time-series store that feeds the dashboard and the analysis
 // library.
 //
+// # Concurrency
+//
+// The collector is partitioned into N node-sharded slices: each mesh
+// node hashes to exactly one shard, which owns that node's dedup state
+// machine, registry entry, link observations, recent-packet ring
+// segment and cached tsdb append handles under its own RWMutex. Batches
+// from different nodes therefore ingest without contending; the only
+// cross-shard state is the record-time high-water mark (an atomic) and
+// the shared WAL appender, which group-commits concurrent shards into
+// one fsync. Read APIs (Nodes, Links, Recent, Stats) merge the shards
+// under sequential read locks and sort, so their output is
+// deterministic but not a single point-in-time cut; snapshot paths that
+// need a consistent cut across every shard briefly stop the world (see
+// persist.go).
+//
 // # Metric schema
 //
 // Packet events:
@@ -35,9 +50,12 @@ package collector
 import (
 	"errors"
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lorameshmon/internal/metrics"
@@ -51,6 +69,11 @@ type Config struct {
 	// RecentPackets bounds the ring buffer of recent packet records kept
 	// for the dashboard's live-traffic view.
 	RecentPackets int
+	// Shards is the number of node-partitioned ingest shards; zero means
+	// one per GOMAXPROCS. Shard count is a runtime choice only — it never
+	// leaks into snapshots, so a log written with one count recovers
+	// under another.
+	Shards int
 	// Retention drops samples older than this many seconds behind the
 	// newest ingested timestamp; zero disables pruning.
 	RetentionS float64
@@ -101,6 +124,14 @@ type Stats struct {
 	BatchesRejected uint64
 	RecordsIngested uint64
 	NodesKnown      int
+}
+
+// add accumulates another shard's partial counters.
+func (s *Stats) add(o Stats) {
+	s.BatchesIngested += o.BatchesIngested
+	s.BatchesRejected += o.BatchesRejected
+	s.RecordsIngested += o.RecordsIngested
+	s.NodesKnown += o.NodesKnown
 }
 
 type nodeState struct {
@@ -243,23 +274,51 @@ func newInstruments(reg *metrics.Registry) *instruments {
 	}
 }
 
-// Collector is the monitoring server core. It is safe for concurrent
-// use; the HTTP ingest path calls it from request goroutines.
-type Collector struct {
+// shard owns the ingest state of the nodes that hash to it: their dedup
+// state machines, registry entries, link observations keyed by the
+// receiving node, cached tsdb append handles and a full-capacity
+// recent-packet ring segment. All of it is guarded by the shard's own
+// lock, so ingest for different nodes never serialises.
+type shard struct {
+	c *Collector
+
 	mu     sync.RWMutex
+	nodes  map[wire.NodeID]*nodeState
+	links  map[linkKey]*LinkObs
+	series map[seriesKey]*tsdb.Series
+	// recent is a ring buffer of the shard's newest packet records,
+	// globally sequenced so readers can merge shards into the exact
+	// stream a single ring would have held; recentHead is the index of
+	// the oldest entry once the ring is full.
+	recent     []recentEntry
+	recentHead int
+	// stats is this shard's partial contribution to the collector-wide
+	// counters; Stats() sums the shards.
+	stats Stats
+}
+
+// recentEntry orders one recent packet in the collector-global stream.
+type recentEntry struct {
+	seq uint64
+	rec wire.PacketRecord
+}
+
+// Collector is the monitoring server core. It is safe for concurrent
+// use; the HTTP ingest path calls it from request goroutines, and
+// batches from distinct nodes land on distinct shards in parallel.
+type Collector struct {
 	cfg    Config
 	db     *tsdb.DB
 	reg    *metrics.Registry
 	inst   *instruments
-	nodes  map[wire.NodeID]*nodeState
-	links  map[linkKey]*LinkObs
-	series map[seriesKey]*tsdb.Series
-	// recent is a ring buffer of the newest packet records; recentHead is
-	// the index of the oldest entry once the ring is full.
-	recent     []wire.PacketRecord
-	recentHead int
-	stats      Stats
-	maxTS      float64
+	shards []*shard
+	// maxTS holds math.Float64bits of the newest record timestamp — the
+	// one piece of ingest state every shard touches, kept lock-free so
+	// shards never take each other's locks.
+	maxTS atomic.Uint64
+	// recentSeq stamps packet records into a single global order across
+	// the per-shard recent rings.
+	recentSeq atomic.Uint64
 }
 
 // New builds a collector writing into db.
@@ -267,18 +326,53 @@ func New(db *tsdb.DB, cfg Config) *Collector {
 	if cfg.RecentPackets <= 0 {
 		cfg.RecentPackets = DefaultConfig().RecentPackets
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	return &Collector{
+	c := &Collector{
 		cfg:    cfg,
 		db:     db,
 		reg:    reg,
 		inst:   newInstruments(reg),
-		nodes:  make(map[wire.NodeID]*nodeState),
-		links:  make(map[linkKey]*LinkObs),
-		series: make(map[seriesKey]*tsdb.Series),
+		shards: make([]*shard, cfg.Shards),
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			c:      c,
+			nodes:  make(map[wire.NodeID]*nodeState),
+			links:  make(map[linkKey]*LinkObs),
+			series: make(map[seriesKey]*tsdb.Series),
+		}
+	}
+	return c
+}
+
+// shardFor maps a node to its owning shard. The multiplicative hash
+// spreads the typically small, sequential NodeID space evenly.
+func (c *Collector) shardFor(id wire.NodeID) *shard {
+	h := uint32(id) * 0x9E3779B1
+	return c.shards[int(h>>16)%len(c.shards)]
+}
+
+// ShardCount reports how many ingest shards the collector runs.
+func (c *Collector) ShardCount() int { return len(c.shards) }
+
+// lockAll write-locks every shard in index order (the canonical order,
+// so concurrent stop-the-world callers cannot deadlock); unlockAll
+// releases in reverse.
+func (c *Collector) lockAll() {
+	for _, s := range c.shards {
+		s.mu.Lock()
+	}
+}
+
+func (c *Collector) unlockAll() {
+	for i := len(c.shards) - 1; i >= 0; i-- {
+		c.shards[i].mu.Unlock()
 	}
 }
 
@@ -287,9 +381,10 @@ func New(db *tsdb.DB, cfg Config) *Collector {
 func (c *Collector) Metrics() *metrics.Registry { return c.reg }
 
 // handleFor returns the cached append handle for key, building the
-// metric's label set only on the first miss. Callers hold c.mu.
-func (c *Collector) handleFor(key seriesKey) *tsdb.Series {
-	if h, ok := c.series[key]; ok {
+// metric's label set only on the first miss. Callers hold s.mu; a node's
+// series are cached on its owning shard, so no key exists on two shards.
+func (s *shard) handleFor(key seriesKey) *tsdb.Series {
+	if h, ok := s.series[key]; ok {
 		return h
 	}
 	labels := tsdb.Labels{"node": key.node.String()}
@@ -305,30 +400,38 @@ func (c *Collector) handleFor(key seriesKey) *tsdb.Series {
 	case "mesh_route_metric":
 		labels["dst"] = key.dst.String()
 	}
-	h := c.db.Series(key.metric, labels)
-	c.series[key] = h
+	h := s.c.db.Series(key.metric, labels)
+	s.series[key] = h
 	return h
 }
 
 // DB exposes the underlying time-series store (dashboard, analysis).
 func (c *Collector) DB() *tsdb.DB { return c.db }
 
-// Stats returns collector-wide counters.
+// Stats returns collector-wide counters summed across shards. The sum
+// is taken shard by shard, so it is monotone but not a single
+// point-in-time cut while ingest is running.
 func (c *Collector) Stats() Stats {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	s := c.stats
-	s.NodesKnown = len(c.nodes)
-	return s
+	var out Stats
+	for _, s := range c.shards {
+		s.mu.RLock()
+		part := s.stats
+		part.NodesKnown = len(s.nodes)
+		s.mu.RUnlock()
+		out.add(part)
+	}
+	return out
 }
 
-// Nodes returns the registry sorted by node ID.
+// Nodes returns the registry merged across shards, sorted by node ID.
 func (c *Collector) Nodes() []NodeInfo {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]NodeInfo, 0, len(c.nodes))
-	for _, n := range c.nodes {
-		out = append(out, n.info)
+	var out []NodeInfo
+	for _, s := range c.shards {
+		s.mu.RLock()
+		for _, n := range s.nodes {
+			out = append(out, n.info)
+		}
+		s.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -336,47 +439,80 @@ func (c *Collector) Nodes() []NodeInfo {
 
 // Node returns the registry entry for id.
 func (c *Collector) Node(id wire.NodeID) (NodeInfo, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	n, ok := c.nodes[id]
+	s := c.shardFor(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.nodes[id]
 	if !ok {
 		return NodeInfo{}, false
 	}
 	return n.info, true
 }
 
-// Recent returns up to limit of the newest packet records, newest first.
+// Recent returns up to limit of the newest packet records, newest
+// first. The per-shard rings are merged on their global sequence
+// stamps, which reconstructs exactly the stream one collector-wide ring
+// of the same capacity would hold.
 func (c *Collector) Recent(limit int) []wire.PacketRecord {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	n := len(c.recent)
+	var entries []recentEntry
+	for _, s := range c.shards {
+		s.mu.RLock()
+		entries = append(entries, s.recent...)
+		s.mu.RUnlock()
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq > entries[j].seq })
+	n := c.cfg.RecentPackets
+	if len(entries) < n {
+		n = len(entries)
+	}
 	if limit <= 0 || limit > n {
 		limit = n
 	}
 	out := make([]wire.PacketRecord, limit)
-	for i := 0; i < limit; i++ {
-		out[i] = c.recent[(c.recentHead+n-1-i)%n]
+	for i := range out {
+		out[i] = entries[i].rec
 	}
 	return out
 }
 
-// addRecent records p in the ring buffer, overwriting the oldest entry
-// once full — no per-packet reallocation.
-func (c *Collector) addRecent(p wire.PacketRecord) {
-	if len(c.recent) < c.cfg.RecentPackets {
-		c.recent = append(c.recent, p)
+// addRecent records p in the shard's ring buffer, overwriting the
+// oldest entry once full — no per-packet reallocation. Each shard ring
+// has the full configured capacity: the newest R records globally are
+// always a subset of the union of per-shard newest-R, so the merged
+// view loses nothing.
+func (s *shard) addRecent(p wire.PacketRecord) {
+	e := recentEntry{seq: s.c.recentSeq.Add(1), rec: p}
+	if len(s.recent) < s.c.cfg.RecentPackets {
+		s.recent = append(s.recent, e)
 		return
 	}
-	c.recent[c.recentHead] = p
-	c.recentHead = (c.recentHead + 1) % len(c.recent)
+	s.recent[s.recentHead] = e
+	s.recentHead = (s.recentHead + 1) % len(s.recent)
 }
 
 // MaxTS returns the newest record timestamp seen, the collector's notion
 // of "now" in record time.
 func (c *Collector) MaxTS() float64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.maxTS
+	return math.Float64frombits(c.maxTS.Load())
+}
+
+// bump raises the record-time high-water mark with a CAS loop; shards
+// call it concurrently without holding each other's locks.
+func (c *Collector) bump(ts float64) {
+	for {
+		old := c.maxTS.Load()
+		if ts <= math.Float64frombits(old) {
+			return
+		}
+		if c.maxTS.CompareAndSwap(old, math.Float64bits(ts)) {
+			return
+		}
+	}
+}
+
+// setMaxTS forces the high-water mark (snapshot restore only).
+func (c *Collector) setMaxTS(ts float64) {
+	c.maxTS.Store(math.Float64bits(ts))
 }
 
 // ErrDurability wraps write-ahead-log failures on the ingest path, so
@@ -385,17 +521,19 @@ var ErrDurability = errors.New("collector: durability failure")
 
 // Ingest implements uplink.Sink: it validates and stores one batch.
 // With a WAL configured, a nil return means the batch is as durable as
-// the log's fsync policy promises.
+// the log's fsync policy promises. Validate guarantees every record in
+// the batch belongs to b.Node, so the whole batch lands on one shard.
 func (c *Collector) Ingest(b wire.Batch) error {
 	start := time.Now()
+	sh := c.shardFor(b.Node)
 	if err := b.Validate(); err != nil {
-		c.mu.Lock()
-		c.stats.BatchesRejected++
-		c.mu.Unlock()
+		sh.mu.Lock()
+		sh.stats.BatchesRejected++
+		sh.mu.Unlock()
 		c.inst.batchesRejected.Inc()
 		return fmt.Errorf("collector: %w", err)
 	}
-	stored, err := c.ingestLocked(b, true)
+	stored, err := sh.ingest(b, true)
 	if err != nil {
 		return err
 	}
@@ -410,6 +548,12 @@ func (c *Collector) Ingest(b wire.Batch) error {
 		c.cfg.OnIngest(b)
 	}
 	return nil
+}
+
+// ingest routes one validated batch to its owning shard (test seam; the
+// recovery replay path also funnels through here with persist=false).
+func (c *Collector) ingest(b wire.Batch, persist bool) (bool, error) {
+	return c.shardFor(b.Node).ingest(b, persist)
 }
 
 // addIngestBytes credits accepted HTTP ingest payload bytes (the HTTP
@@ -457,19 +601,23 @@ func (st *nodeState) classify(seqNo uint64) dedupAction {
 	}
 }
 
-// ingestLocked stores the batch and reports whether it was accepted
-// (false for duplicates). With persist set and a WAL configured, the
-// batch is appended to the log after the dedup decision and before any
-// state mutation — a WAL failure leaves the collector exactly as if the
-// batch never arrived, so the client's retry replays cleanly.
-func (c *Collector) ingestLocked(b wire.Batch, persist bool) (bool, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// ingest stores the batch under the shard lock and reports whether it
+// was accepted (false for duplicates). With persist set and a WAL
+// configured, the batch is appended to the log after the dedup decision
+// and before any state mutation — a WAL failure leaves the collector
+// exactly as if the batch never arrived, so the client's retry replays
+// cleanly. The WAL append happens with only this shard locked; other
+// shards keep ingesting and their concurrent appends group-commit into
+// a shared fsync.
+func (s *shard) ingest(b wire.Batch, persist bool) (bool, error) {
+	c := s.c
+	s.mu.Lock()
+	defer s.mu.Unlock()
 
-	st, ok := c.nodes[b.Node]
+	st, ok := s.nodes[b.Node]
 	if !ok {
 		st = &nodeState{info: NodeInfo{ID: b.Node, FirstSeenTS: b.SentAt}}
-		c.nodes[b.Node] = st
+		s.nodes[b.Node] = st
 	}
 	act := st.classify(b.SeqNo)
 	if act == actDup {
@@ -504,58 +652,55 @@ func (c *Collector) ingestLocked(b wire.Batch, persist bool) (bool, error) {
 	if b.SentAt > st.info.LastSeenTS {
 		st.info.LastSeenTS = b.SentAt
 	}
-	c.stats.BatchesIngested++
-	c.stats.RecordsIngested += uint64(b.Len())
+	s.stats.BatchesIngested++
+	s.stats.RecordsIngested += uint64(b.Len())
 
 	for _, p := range b.Packets {
-		c.ingestPacket(p)
+		s.ingestPacket(p)
 	}
 	for _, r := range b.Routes {
 		r := r
-		c.ingestRoutes(st, r)
+		s.ingestRoutes(st, r)
 	}
-	for _, s := range b.Stats {
-		s := s
-		c.ingestStats(st, s)
+	for _, st2 := range b.Stats {
+		st2 := st2
+		s.ingestStats(st, st2)
 	}
 	for _, h := range b.Heartbeats {
-		c.ingestHeartbeat(st, h)
+		s.ingestHeartbeat(st, h)
 	}
-	if c.cfg.RetentionS > 0 && c.maxTS > c.cfg.RetentionS {
-		c.db.Prune(c.maxTS - c.cfg.RetentionS)
+	if maxTS := c.MaxTS(); c.cfg.RetentionS > 0 && maxTS > c.cfg.RetentionS {
+		c.db.Prune(maxTS - c.cfg.RetentionS)
 	}
 	return true, nil
 }
 
-func (c *Collector) bump(ts float64) {
-	if ts > c.maxTS {
-		c.maxTS = ts
-	}
-}
-
-func (c *Collector) ingestPacket(p wire.PacketRecord) {
+func (s *shard) ingestPacket(p wire.PacketRecord) {
+	c := s.c
 	c.bump(p.TS)
 	ev := string(p.Event)
-	c.handleFor(seriesKey{metric: "mesh_packets", node: p.Node, a: ev, b: p.Type}).Append(p.TS, 1)
-	c.handleFor(seriesKey{metric: "mesh_packet_bytes", node: p.Node, a: ev}).Append(p.TS, float64(p.Size))
+	s.handleFor(seriesKey{metric: "mesh_packets", node: p.Node, a: ev, b: p.Type}).Append(p.TS, 1)
+	s.handleFor(seriesKey{metric: "mesh_packet_bytes", node: p.Node, a: ev}).Append(p.TS, float64(p.Size))
 	switch p.Event {
 	case wire.EventRx:
-		c.handleFor(seriesKey{metric: "mesh_packet_rssi", node: p.Node}).Append(p.TS, p.RSSIdBm)
-		c.handleFor(seriesKey{metric: "mesh_packet_snr", node: p.Node}).Append(p.TS, p.SNRdB)
+		s.handleFor(seriesKey{metric: "mesh_packet_rssi", node: p.Node}).Append(p.TS, p.RSSIdBm)
+		s.handleFor(seriesKey{metric: "mesh_packet_snr", node: p.Node}).Append(p.TS, p.SNRdB)
 	case wire.EventTx:
-		c.handleFor(seriesKey{metric: "mesh_airtime_ms", node: p.Node, a: p.Type}).Append(p.TS, p.AirtimeMS)
+		s.handleFor(seriesKey{metric: "mesh_airtime_ms", node: p.Node, a: p.Type}).Append(p.TS, p.AirtimeMS)
 	case wire.EventDrop:
-		c.handleFor(seriesKey{metric: "mesh_drops", node: p.Node, a: p.Reason}).Append(p.TS, 1)
+		s.handleFor(seriesKey{metric: "mesh_drops", node: p.Node, a: p.Reason}).Append(p.TS, 1)
 	}
-	c.addRecent(p)
+	s.addRecent(p)
 	// Received HELLOs are single-hop by construction, so src really is
 	// the link-layer transmitter: aggregate the direct link src→node.
+	// The link is keyed by its receiver (p.Node == the batch's node), so
+	// a link lives on exactly one shard — the receiving node's.
 	if p.Event == wire.EventRx && p.Type == "HELLO" && p.Src != p.Node {
 		k := linkKey{tx: p.Src, rx: p.Node}
-		l, ok := c.links[k]
+		l, ok := s.links[k]
 		if !ok {
 			l = &LinkObs{Tx: p.Src, Rx: p.Node, FirstTS: p.TS}
-			c.links[k] = l
+			s.links[k] = l
 		}
 		l.Count++
 		l.LastTS = p.TS
@@ -567,16 +712,19 @@ func (c *Collector) ingestPacket(p wire.PacketRecord) {
 	}
 }
 
-// Links returns every observed direct link, sorted by (tx, rx). With
-// from > 0, only links heard at or after that timestamp are included.
+// Links returns every observed direct link merged across shards, sorted
+// by (tx, rx). With from > 0, only links heard at or after that
+// timestamp are included.
 func (c *Collector) Links(from float64) []LinkObs {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]LinkObs, 0, len(c.links))
-	for _, l := range c.links {
-		if l.LastTS >= from {
-			out = append(out, *l)
+	var out []LinkObs
+	for _, s := range c.shards {
+		s.mu.RLock()
+		for _, l := range s.links {
+			if l.LastTS >= from {
+				out = append(out, *l)
+			}
 		}
+		s.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Tx != out[j].Tx {
@@ -587,37 +735,37 @@ func (c *Collector) Links(from float64) []LinkObs {
 	return out
 }
 
-func (c *Collector) ingestRoutes(st *nodeState, r wire.RouteSnapshot) {
-	c.bump(r.TS)
+func (s *shard) ingestRoutes(st *nodeState, r wire.RouteSnapshot) {
+	s.c.bump(r.TS)
 	if st.info.LastRoutes == nil || r.TS >= st.info.LastRoutes.TS {
 		st.info.LastRoutes = &r
 	}
 	for _, e := range r.Routes {
-		c.handleFor(seriesKey{metric: "mesh_route_metric", node: r.Node, dst: e.Dst}).
+		s.handleFor(seriesKey{metric: "mesh_route_metric", node: r.Node, dst: e.Dst}).
 			Append(r.TS, float64(e.Metric))
 	}
 }
 
-func (c *Collector) ingestStats(st *nodeState, s wire.NodeStats) {
-	c.bump(s.TS)
-	if st.info.LastStats == nil || s.TS >= st.info.LastStats.TS {
-		st.info.LastStats = &s
+func (s *shard) ingestStats(st *nodeState, v wire.NodeStats) {
+	s.c.bump(v.TS)
+	if st.info.LastStats == nil || v.TS >= st.info.LastStats.TS {
+		st.info.LastStats = &v
 	}
 	if st.stats == nil {
-		labels := tsdb.Labels{"node": s.Node.String()}
+		labels := tsdb.Labels{"node": v.Node.String()}
 		st.stats = make([]*tsdb.Series, len(statsMetricNames))
 		for i, name := range statsMetricNames {
-			st.stats[i] = c.db.Series(name, labels)
+			st.stats[i] = s.c.db.Series(name, labels)
 		}
 	}
-	vals := statsValues(&s)
+	vals := statsValues(&v)
 	for i, h := range st.stats {
-		h.Append(s.TS, vals[i])
+		h.Append(v.TS, vals[i])
 	}
 }
 
-func (c *Collector) ingestHeartbeat(st *nodeState, h wire.Heartbeat) {
-	c.bump(h.TS)
+func (s *shard) ingestHeartbeat(st *nodeState, h wire.Heartbeat) {
+	s.c.bump(h.TS)
 	if h.TS >= st.info.LastBeatTS {
 		st.info.LastBeatTS = h.TS
 		st.info.UptimeS = h.UptimeS
@@ -626,7 +774,7 @@ func (c *Collector) ingestHeartbeat(st *nodeState, h wire.Heartbeat) {
 		}
 	}
 	if st.uptime == nil {
-		st.uptime = c.db.Series("node_uptime", tsdb.Labels{"node": h.Node.String()})
+		st.uptime = s.c.db.Series("node_uptime", tsdb.Labels{"node": h.Node.String()})
 	}
 	st.uptime.Append(h.TS, h.UptimeS)
 }

@@ -98,7 +98,7 @@ func TestDedupStateMachine(t *testing.T) {
 					Node: 1, SeqNo: s.seq, SentAt: float64(i + 1),
 					Heartbeats: []wire.Heartbeat{{TS: float64(i + 1), Node: 1}},
 				}
-				stored, err := c.ingestLocked(b, true)
+				stored, err := c.ingest(b, true)
 				if err != nil {
 					t.Fatalf("step %d (seq %d): %v", i, s.seq, err)
 				}
@@ -130,19 +130,20 @@ func TestDedupStateMachine(t *testing.T) {
 func TestMissingWindowBounded(t *testing.T) {
 	c := newCollector()
 	ing := func(seq uint64) {
-		if _, err := c.ingestLocked(wire.Batch{Node: 1, SeqNo: seq, SentAt: float64(seq)}, true); err != nil {
+		if _, err := c.ingest(wire.Batch{Node: 1, SeqNo: seq, SentAt: float64(seq)}, true); err != nil {
 			t.Fatal(err)
 		}
 	}
 	ing(1)
 	// One huge gap: only the newest maxMissingTracked entries survive.
 	ing(3 * maxMissingTracked)
-	c.mu.RLock()
-	st := c.nodes[1]
+	sh := c.shardFor(1)
+	sh.mu.RLock()
+	st := sh.nodes[1]
 	tracked := len(st.missing)
 	_, hasOld := st.missing[2]
 	_, hasNew := st.missing[3*maxMissingTracked-1]
-	c.mu.RUnlock()
+	sh.mu.RUnlock()
 	if tracked != maxMissingTracked {
 		t.Fatalf("tracked = %d, want %d", tracked, maxMissingTracked)
 	}
@@ -150,12 +151,12 @@ func TestMissingWindowBounded(t *testing.T) {
 		t.Fatalf("eviction kept the wrong end: hasOld=%v hasNew=%v", hasOld, hasNew)
 	}
 	// An evicted gap's late arrival is a duplicate (stays counted lost)...
-	stored, err := c.ingestLocked(wire.Batch{Node: 1, SeqNo: 2, SentAt: 99}, true)
+	stored, err := c.ingest(wire.Batch{Node: 1, SeqNo: 2, SentAt: 99}, true)
 	if err != nil || stored {
 		t.Fatalf("evicted gap accepted as late: stored=%v err=%v", stored, err)
 	}
 	// ...while a tracked one reconciles.
-	stored, err = c.ingestLocked(wire.Batch{Node: 1, SeqNo: 3*maxMissingTracked - 1, SentAt: 100}, true)
+	stored, err = c.ingest(wire.Batch{Node: 1, SeqNo: 3*maxMissingTracked - 1, SentAt: 100}, true)
 	if err != nil || !stored {
 		t.Fatalf("tracked gap rejected: stored=%v err=%v", stored, err)
 	}

@@ -14,10 +14,15 @@ import (
 // Snapshot + WAL recovery for the collector. A checkpoint captures the
 // node registry, link observations, recent-packet ring, collector-wide
 // counters and the whole time-series store in one gob stream, cut
-// exactly on a batch boundary (both the snapshot and every ingest hold
-// c.mu). Recovery restores the newest snapshot and replays the WAL tail
-// through the normal dedup state machine, so the rebuilt state is
-// identical to what the collector had acknowledged before the crash.
+// exactly on a batch boundary: the snapshot path write-locks every
+// shard (a brief stop-the-world), so the cut is consistent across all
+// of them — no shard contributes a batch the others haven't fully
+// ingested. The snapshot format itself is shard-agnostic (everything is
+// merged and sorted before encoding), so a log written under one shard
+// count recovers under any other. Recovery restores the newest snapshot
+// and replays the WAL tail through the normal dedup state machine, so
+// the rebuilt state is identical to what the collector had acknowledged
+// before the crash.
 
 // collectorSnapshotVersion guards the snapshot schema.
 const collectorSnapshotVersion = 1
@@ -44,35 +49,39 @@ type snapshotDump struct {
 
 // WriteSnapshot serialises the collector's full state (registry, links,
 // recent packets, counters and the time-series store) to w as one gob
-// stream, cut on a batch boundary.
+// stream, cut on a batch boundary consistent across every shard.
 func (c *Collector) WriteSnapshot(w io.Writer) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.writeSnapshotLocked(w)
+	c.lockAll()
+	defer c.unlockAll()
+	return c.writeSnapshotAllLocked(w)
 }
 
-// writeSnapshotLocked is WriteSnapshot with c.mu already held (the
-// checkpoint path locks before cutting the WAL).
-func (c *Collector) writeSnapshotLocked(w io.Writer) error {
+// writeSnapshotAllLocked is WriteSnapshot with every shard lock already
+// held (the checkpoint path locks before cutting the WAL). All shard
+// state is merged and sorted, so the encoding is deterministic and
+// carries no trace of the shard layout.
+func (c *Collector) writeSnapshotAllLocked(w io.Writer) error {
 	dump := snapshotDump{
 		Version: collectorSnapshotVersion,
-		Recent:  c.recentOldestFirstLocked(),
-		Stats:   c.stats,
-		MaxTS:   c.maxTS,
+		Recent:  c.recentOldestFirstAllLocked(),
+		MaxTS:   c.MaxTS(),
 		DB:      c.db.Dump(),
 	}
-	for _, st := range c.nodes {
-		nd := nodeDump{Info: st.info, LastSeq: st.lastSeq, Seen: st.seen}
-		for s := range st.missing {
-			nd.Missing = append(nd.Missing, s)
+	for _, sh := range c.shards {
+		dump.Stats.add(sh.stats)
+		for _, st := range sh.nodes {
+			nd := nodeDump{Info: st.info, LastSeq: st.lastSeq, Seen: st.seen}
+			for s := range st.missing {
+				nd.Missing = append(nd.Missing, s)
+			}
+			sort.Slice(nd.Missing, func(i, j int) bool { return nd.Missing[i] < nd.Missing[j] })
+			dump.Nodes = append(dump.Nodes, nd)
 		}
-		sort.Slice(nd.Missing, func(i, j int) bool { return nd.Missing[i] < nd.Missing[j] })
-		dump.Nodes = append(dump.Nodes, nd)
+		for _, l := range sh.links {
+			dump.Links = append(dump.Links, *l)
+		}
 	}
 	sort.Slice(dump.Nodes, func(i, j int) bool { return dump.Nodes[i].Info.ID < dump.Nodes[j].Info.ID })
-	for _, l := range c.links {
-		dump.Links = append(dump.Links, *l)
-	}
 	sort.Slice(dump.Links, func(i, j int) bool {
 		if dump.Links[i].Tx != dump.Links[j].Tx {
 			return dump.Links[i].Tx < dump.Links[j].Tx
@@ -85,22 +94,32 @@ func (c *Collector) writeSnapshotLocked(w io.Writer) error {
 	return nil
 }
 
-// recentOldestFirstLocked linearises the recent-packet ring, oldest
-// first, for snapshotting.
-func (c *Collector) recentOldestFirstLocked() []wire.PacketRecord {
-	n := len(c.recent)
-	if n == 0 {
+// recentOldestFirstAllLocked linearises the recent-packet stream across
+// all shard rings, oldest first, trimmed to the configured capacity —
+// exactly what a single collector-wide ring would hold.
+func (c *Collector) recentOldestFirstAllLocked() []wire.PacketRecord {
+	var entries []recentEntry
+	for _, sh := range c.shards {
+		entries = append(entries, sh.recent...)
+	}
+	if len(entries) == 0 {
 		return nil
 	}
-	out := make([]wire.PacketRecord, 0, n)
-	for i := 0; i < n; i++ {
-		out = append(out, c.recent[(c.recentHead+i)%n])
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	if len(entries) > c.cfg.RecentPackets {
+		entries = entries[len(entries)-c.cfg.RecentPackets:]
+	}
+	out := make([]wire.PacketRecord, len(entries))
+	for i, e := range entries {
+		out[i] = e.rec
 	}
 	return out
 }
 
 // RestoreSnapshot replaces the collector's state with the snapshot read
-// from r. Cached series handles are rebuilt lazily on the next ingest.
+// from r, redistributing nodes and links to whatever shards they hash
+// to under the current shard count. Cached series handles are rebuilt
+// lazily on the next ingest.
 func (c *Collector) RestoreSnapshot(r io.Reader) error {
 	var dump snapshotDump
 	if err := gob.NewDecoder(r).Decode(&dump); err != nil {
@@ -110,9 +129,16 @@ func (c *Collector) RestoreSnapshot(r io.Reader) error {
 		return fmt.Errorf("collector: restore: unsupported snapshot version %d", dump.Version)
 	}
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.nodes = make(map[wire.NodeID]*nodeState, len(dump.Nodes))
+	c.lockAll()
+	defer c.unlockAll()
+	for _, sh := range c.shards {
+		sh.nodes = make(map[wire.NodeID]*nodeState)
+		sh.links = make(map[linkKey]*LinkObs)
+		sh.series = make(map[seriesKey]*tsdb.Series)
+		sh.recent = nil
+		sh.recentHead = 0
+		sh.stats = Stats{}
+	}
 	for _, nd := range dump.Nodes {
 		st := &nodeState{info: nd.Info, lastSeq: nd.LastSeq, seen: nd.Seen}
 		if len(nd.Missing) > 0 {
@@ -121,36 +147,41 @@ func (c *Collector) RestoreSnapshot(r io.Reader) error {
 				st.missing[s] = struct{}{}
 			}
 		}
-		c.nodes[nd.Info.ID] = st
+		c.shardFor(nd.Info.ID).nodes[nd.Info.ID] = st
 	}
-	c.links = make(map[linkKey]*LinkObs, len(dump.Links))
 	for i := range dump.Links {
 		l := dump.Links[i]
-		c.links[linkKey{tx: l.Tx, rx: l.Rx}] = &l
+		// Links are owned by the shard of their receiving node, matching
+		// where ingestPacket would have created them.
+		c.shardFor(l.Rx).links[linkKey{tx: l.Tx, rx: l.Rx}] = &l
 	}
-	// Keep the newest entries when the restored ring exceeds the
-	// configured capacity; an under-full ring restores with head 0,
-	// matching addRecent's append-until-full invariant.
+	// Refill the rings oldest-first through the normal path: fresh
+	// sequence stamps preserve the snapshot's global order, and each
+	// record lands on its reporting node's shard. Trim first so an
+	// oversized dump keeps only the newest entries.
 	recent := dump.Recent
 	if len(recent) > c.cfg.RecentPackets {
 		recent = recent[len(recent)-c.cfg.RecentPackets:]
 	}
-	c.recent = append([]wire.PacketRecord(nil), recent...)
-	c.recentHead = 0
-	c.stats = dump.Stats
-	c.maxTS = dump.MaxTS
-	c.series = make(map[seriesKey]*tsdb.Series)
+	for _, p := range recent {
+		c.shardFor(p.Node).addRecent(p)
+	}
+	// The merged counters cannot be split back per shard (the split is a
+	// runtime artifact); parking them on shard 0 keeps every merged read
+	// exact.
+	c.shards[0].stats = dump.Stats
+	c.setMaxTS(dump.MaxTS)
 	return c.db.Load(dump.DB)
 }
 
-// Checkpoint cuts a WAL snapshot of the collector: it holds the ingest
+// Checkpoint cuts a WAL snapshot of the collector: it holds every shard
 // lock across the segment rotation and the state dump, so the snapshot
-// covers exactly the batches appended before the cut and the replay
-// tail starts exactly after it.
+// covers exactly the batches appended before the cut — on every shard —
+// and the replay tail starts exactly after it.
 func (c *Collector) Checkpoint(log *wal.Log) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return log.Checkpoint(c.writeSnapshotLocked)
+	c.lockAll()
+	defer c.unlockAll()
+	return log.Checkpoint(c.writeSnapshotAllLocked)
 }
 
 // Recover rebuilds the collector from log: restore the newest snapshot
@@ -158,7 +189,8 @@ func (c *Collector) Checkpoint(log *wal.Log) error {
 // ingest path — minus the WAL append (the batches are already in the
 // log) and the OnIngest hook (downstream consumers saw them before the
 // crash). Counters in Stats and NodeInfo advance exactly as they did
-// originally, so recovered state matches pre-crash state.
+// originally, so recovered state matches pre-crash state regardless of
+// either side's shard count.
 func (c *Collector) Recover(log *wal.Log) (wal.ReplayStats, error) {
 	if rc, ok, err := log.Snapshot(); err != nil {
 		return wal.ReplayStats{}, err
@@ -173,7 +205,7 @@ func (c *Collector) Recover(log *wal.Log) (wal.ReplayStats, error) {
 		if err := b.Validate(); err != nil {
 			return fmt.Errorf("collector: recover: %w", err)
 		}
-		_, err := c.ingestLocked(b, false)
+		_, err := c.ingest(b, false)
 		return err
 	})
 }

@@ -1,0 +1,202 @@
+package collector
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lorameshmon/internal/tsdb"
+	"lorameshmon/internal/wal"
+	"lorameshmon/internal/wire"
+)
+
+// TestShardedEquivalence feeds identical traffic (gaps, duplicates,
+// late reorders, restarts, many nodes) to a single-shard and a
+// many-shard collector and requires every public view to agree —
+// sharding must be invisible to readers.
+func TestShardedEquivalence(t *testing.T) {
+	cfgA := DefaultConfig()
+	cfgA.Shards = 1
+	cfgA.RecentPackets = 16 // force the merged ring to trim
+	cfgB := DefaultConfig()
+	cfgB.Shards = 8
+	cfgB.RecentPackets = 16
+	single := New(tsdb.New(), cfgA)
+	sharded := New(tsdb.New(), cfgB)
+	if single.ShardCount() != 1 || sharded.ShardCount() != 8 {
+		t.Fatalf("shard counts = %d/%d, want 1/8", single.ShardCount(), sharded.ShardCount())
+	}
+
+	feed := func(node wire.NodeID, seqs ...uint64) {
+		for _, s := range seqs {
+			b := trafficBatch(node, s)
+			errA := single.Ingest(b)
+			errB := sharded.Ingest(b)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("node %d seq %d: single err=%v, sharded err=%v", node, s, errA, errB)
+			}
+		}
+	}
+	for node := wire.NodeID(1); node <= 12; node++ {
+		feed(node, 1, 2, 3)
+	}
+	feed(1, 7, 7)       // gap + duplicate
+	feed(2, 5, 4)       // gap + late reorder
+	feed(3, 4, 5, 1, 2) // restart after in-order
+	assertCollectorsEqual(t, single, sharded)
+}
+
+// TestShardedRecoveryRoundTrip is the recovery round-trip equality
+// check under a many-shard collector — including a shard-count change
+// across the restart, which the shard-agnostic snapshot format must
+// absorb.
+func TestShardedRecoveryRoundTrip(t *testing.T) {
+	for _, recoverShards := range []int{1, 4, 7} {
+		t.Run(fmt.Sprintf("recover-into-%d", recoverShards), func(t *testing.T) {
+			dir := t.TempDir()
+			wlog, err := wal.Open(dir, wal.Options{Sync: wal.SyncEveryBatch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.Shards = 4
+			cfg.RecentPackets = 8
+			cfg.WAL = wlog
+			orig := New(tsdb.New(), cfg)
+
+			feed := func(node wire.NodeID, seqs ...uint64) {
+				for _, s := range seqs {
+					if err := orig.Ingest(trafficBatch(node, s)); err != nil {
+						t.Fatalf("ingest node %d seq %d: %v", node, s, err)
+					}
+				}
+			}
+			feed(1, 1, 2, 3)
+			feed(2, 1, 2, 5, 5) // gap plus duplicate
+			feed(6, 1)
+			feed(9, 1, 2)
+			if err := orig.Checkpoint(wlog); err != nil {
+				t.Fatal(err)
+			}
+			feed(1, 4, 5)
+			feed(2, 3) // late reorder across the checkpoint boundary
+			feed(3, 1)
+			if err := wlog.Crash(); err != nil {
+				t.Fatal(err)
+			}
+
+			wlog2, err := wal.Open(dir, wal.Options{Sync: wal.SyncEveryBatch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg2 := DefaultConfig()
+			cfg2.Shards = recoverShards
+			cfg2.RecentPackets = 8
+			cfg2.WAL = wlog2
+			recovered := New(tsdb.New(), cfg2)
+			if _, err := recovered.Recover(wlog2); err != nil {
+				t.Fatal(err)
+			}
+			assertCollectorsEqual(t, orig, recovered)
+
+			// The restored dedup state keeps working on every shard.
+			if err := recovered.Ingest(trafficBatch(1, 6)); err != nil {
+				t.Fatal(err)
+			}
+			n, _ := recovered.Node(1)
+			if n.BatchesOK != 6 || n.BatchesDup != 0 {
+				t.Fatalf("post-recovery ingest: %+v", n)
+			}
+		})
+	}
+}
+
+// TestShardedCrashConsistency drives concurrent ingest across many
+// nodes (hashing onto different shards) with fsync-per-batch, crashes
+// mid-storm, and requires recovery to rebuild exactly the acknowledged
+// batches — the zero-acked-loss contract through the sharded path and
+// the group-commit appender together.
+func TestShardedCrashConsistency(t *testing.T) {
+	dir := t.TempDir()
+	wlog, err := wal.Open(dir, wal.Options{Sync: wal.SyncEveryBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Shards = 8
+	cfg.WAL = wlog
+	c := New(tsdb.New(), cfg)
+
+	const (
+		writers   = 8
+		perWriter = 30
+	)
+	acked := make([]uint64, writers) // per-writer count of acked batches
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			node := wire.NodeID(i + 1)
+			for seq := uint64(1); seq <= perWriter; seq++ {
+				if err := c.Ingest(trafficBatch(node, seq)); err != nil {
+					return // ErrDurability once crashed; stop acking
+				}
+				acked[i]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := wlog.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	wlog2, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := DefaultConfig()
+	cfg2.Shards = 3 // recover under a different shard count on purpose
+	recovered := New(tsdb.New(), cfg2)
+	if _, err := recovered.Recover(wlog2); err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for i, n := range acked {
+		node := wire.NodeID(i + 1)
+		info, ok := recovered.Node(node)
+		if n > 0 && !ok {
+			t.Fatalf("node %d acked %d batches but is missing after recovery", node, n)
+		}
+		if ok && info.BatchesOK != n {
+			t.Fatalf("node %d: acked %d batches, recovered %d", node, n, info.BatchesOK)
+		}
+		total += n
+	}
+	if got := recovered.Stats().BatchesIngested; got != total {
+		t.Fatalf("acked-data loss: acked %d batches, recovered %d", total, got)
+	}
+	if total == 0 {
+		t.Fatal("no batches acked; test proved nothing")
+	}
+}
+
+// TestShardDistribution sanity-checks the node→shard hash: sequential
+// IDs must not all land on one shard.
+func TestShardDistribution(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = 4
+	c := New(tsdb.New(), cfg)
+	hit := make(map[*shard]int)
+	for id := wire.NodeID(1); id <= 64; id++ {
+		hit[c.shardFor(id)]++
+	}
+	if len(hit) != 4 {
+		t.Fatalf("64 sequential nodes landed on %d of 4 shards", len(hit))
+	}
+	for sh, n := range hit {
+		if n > 40 {
+			t.Fatalf("shard %p absorbed %d of 64 nodes — hash is badly skewed", sh, n)
+		}
+	}
+}

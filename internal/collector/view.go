@@ -1,0 +1,51 @@
+package collector
+
+import (
+	"lorameshmon/internal/metrics"
+	"lorameshmon/internal/tsdb"
+	"lorameshmon/internal/wire"
+)
+
+// View is the read side of the collector: everything the dashboard, the
+// alert engine and the analysis library consume. Depending on View
+// instead of *Collector keeps those layers decoupled from the storage
+// core — the sharded collector satisfies it today, and a remote or
+// fan-in implementation could tomorrow without touching a consumer.
+//
+// All slice-returning methods order deterministically (Nodes by ID,
+// Links by (tx, rx), Recent newest-first), so renderings and golden
+// outputs built on a View are stable under any shard layout.
+type View interface {
+	// Nodes returns the full node registry, sorted by node ID.
+	Nodes() []NodeInfo
+	// Node returns the registry entry for one node.
+	Node(id wire.NodeID) (NodeInfo, bool)
+	// Links returns observed direct links, sorted by (tx, rx); from > 0
+	// filters to links heard at or after that timestamp.
+	Links(from float64) []LinkObs
+	// Recent returns up to limit of the newest packet records, newest
+	// first (limit <= 0 means all retained).
+	Recent(limit int) []wire.PacketRecord
+	// Stats returns collector-wide ingest counters.
+	Stats() Stats
+	// MaxTS is the newest record timestamp seen — "now" in record time.
+	MaxTS() float64
+	// DB exposes the backing time-series store for range queries.
+	DB() *tsdb.DB
+	// Metrics exposes the self-observability registry.
+	Metrics() *metrics.Registry
+}
+
+// Store is the write side of the collector — the uplink.Sink shape.
+// Ingest validates and stores one batch; with a WAL configured, a nil
+// return means the batch is as durable as the log's fsync policy
+// promises.
+type Store interface {
+	Ingest(b wire.Batch) error
+}
+
+// The concrete collector implements both sides.
+var (
+	_ View  = (*Collector)(nil)
+	_ Store = (*Collector)(nil)
+)

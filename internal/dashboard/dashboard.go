@@ -38,16 +38,17 @@ func DefaultConfig() Config {
 }
 
 // Server renders the dashboard for one collector (and optional alert
-// engine).
+// engine). It reads through the collector.View interface only, never
+// the concrete type.
 type Server struct {
-	coll   *collector.Collector
+	coll   collector.View
 	engine *alert.Engine // may be nil
 	cfg    Config
 	tmpl   *template.Template
 }
 
 // New builds a dashboard server. engine may be nil to omit alerts.
-func New(coll *collector.Collector, engine *alert.Engine, cfg Config) *Server {
+func New(coll collector.View, engine *alert.Engine, cfg Config) *Server {
 	d := DefaultConfig()
 	if cfg.Title == "" {
 		cfg.Title = d.Title

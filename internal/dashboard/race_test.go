@@ -1,0 +1,119 @@
+package dashboard
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"lorameshmon/internal/alert"
+	"lorameshmon/internal/analysis"
+	"lorameshmon/internal/collector"
+	"lorameshmon/internal/tsdb"
+	"lorameshmon/internal/wire"
+)
+
+// hammerBatch builds one small batch with every record type the readers
+// touch (packets feed links/recent, heartbeats feed the registry).
+func hammerBatch(node wire.NodeID, seq uint64) wire.Batch {
+	ts := float64(seq)
+	return wire.Batch{
+		Node: node, SeqNo: seq, SentAt: ts,
+		Packets: []wire.PacketRecord{
+			{TS: ts, Node: node, Event: wire.EventRx, Type: "HELLO",
+				Src: node%4 + 1, Dst: wire.BroadcastID, Via: wire.BroadcastID,
+				Seq: uint16(seq), TTL: 1, Size: 23, RSSIdBm: -90, SNRdB: 5},
+			{TS: ts, Node: node, Event: wire.EventTx, Type: "DATA",
+				Src: node, Dst: 1, Via: 1, Seq: uint16(seq), TTL: 8, Size: 40, AirtimeMS: 56},
+		},
+		Stats:      []wire.NodeStats{{TS: ts, Node: node, HelloSent: seq, DataSent: seq}},
+		Heartbeats: []wire.Heartbeat{{TS: ts, Node: node, UptimeS: ts}},
+	}
+}
+
+// TestConcurrentReadersUnderIngest is the race hammer for the sharded
+// collector: many writers ingest across distinct nodes while the
+// dashboard HTTP handlers, the alert engine and the topology inference
+// all read through the View interface. Run under -race in CI's test
+// stage, it fails on any unsynchronised access across the
+// shard/View boundary.
+func TestConcurrentReadersUnderIngest(t *testing.T) {
+	cfg := collector.DefaultConfig()
+	cfg.Shards = 8
+	cfg.RecentPackets = 64
+	c := collector.New(tsdb.New(), cfg)
+	var view collector.View = c
+
+	eng := alert.NewEngine(view, alert.Config{})
+	srv := httptest.NewServer(New(view, eng, Config{}).Handler())
+	defer srv.Close()
+
+	const (
+		writers   = 6
+		perWriter = 120
+		readPass  = 40
+	)
+	var wg sync.WaitGroup
+
+	// Writers: distinct nodes, hashing across shards.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(node wire.NodeID) {
+			defer wg.Done()
+			for seq := uint64(1); seq <= perWriter; seq++ {
+				if err := c.Ingest(hammerBatch(node, seq)); err != nil {
+					t.Errorf("ingest node %d seq %d: %v", node, seq, err)
+					return
+				}
+			}
+		}(wire.NodeID(w + 1))
+	}
+
+	// Dashboard HTTP readers hitting every route that touches the View.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		routes := []string{"/", "/traffic", "/topology", "/alerts", "/health", "/node/N0001"}
+		for i := 0; i < readPass; i++ {
+			for _, r := range routes {
+				if code, _ := fetch(t, srv.URL+r); code >= 500 {
+					t.Errorf("GET %s = %d under concurrent ingest", r, code)
+					return
+				}
+			}
+		}
+	}()
+
+	// Alert engine evaluation (single evaluator, as wired in production).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < readPass; i++ {
+			eng.Check(view.MaxTS())
+		}
+	}()
+
+	// Topology inference and the analysis reads the dashboard uses.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < readPass; i++ {
+			analysis.InferTopology(view, 0, 1)
+			analysis.NetworkPDRFromStats(view)
+			view.Nodes()
+			view.Links(0)
+			view.Recent(32)
+			view.Stats()
+		}
+	}()
+
+	wg.Wait()
+
+	// Every write landed: the merged views must account for all of it.
+	s := view.Stats()
+	if s.BatchesIngested != writers*perWriter {
+		t.Fatalf("BatchesIngested = %d, want %d", s.BatchesIngested, writers*perWriter)
+	}
+	if got := len(view.Nodes()); got != writers {
+		t.Fatalf("Nodes() = %d entries, want %d", got, writers)
+	}
+}

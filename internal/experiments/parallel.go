@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"lorameshmon/internal/collector"
+	"lorameshmon/internal/tsdb"
+	"lorameshmon/internal/wire"
+)
+
+// T8ParallelIngest measures how the collector's node-sharded ingest
+// path scales: concurrent writers on distinct nodes drive direct
+// in-process ingest against shard counts from 1 (the old single-lock
+// layout) upwards, and the table reports throughput and speedup over
+// the single-shard baseline. On a multi-core box the sharded rows pull
+// ahead; on one core every row collapses to the same number — the
+// ratio is the honest read either way.
+func T8ParallelIngest() Table {
+	t := Table{
+		ID:      "T8",
+		Title:   "Parallel ingest scaling by shard count (8 writers, 32 records/batch, this machine)",
+		Columns: []string{"shards", "batches/s", "speedup vs 1 shard"},
+	}
+	const (
+		writers   = 8
+		perWriter = 300
+		perBatch  = 32
+	)
+
+	makeBatch := func(node wire.NodeID, seq uint64) wire.Batch {
+		b := wire.Batch{Node: node, SeqNo: seq, SentAt: float64(seq)}
+		for i := 0; i < perBatch; i++ {
+			b.Packets = append(b.Packets, wire.PacketRecord{
+				TS: float64(seq), Node: node, Event: wire.EventRx, Type: "HELLO",
+				Src: node + 1, Dst: wire.BroadcastID, Via: wire.BroadcastID,
+				Seq: uint16(i), TTL: 1, Size: 23,
+				RSSIdBm: -100, SNRdB: 5, ForUs: true, AirtimeMS: 46,
+			})
+		}
+		return b
+	}
+
+	run := func(shards int) float64 {
+		c := collector.New(tsdb.New(), collector.Config{Shards: shards})
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(node wire.NodeID) {
+				defer wg.Done()
+				for seq := uint64(1); seq <= perWriter; seq++ {
+					if err := c.Ingest(makeBatch(node, seq)); err != nil {
+						panic(fmt.Sprintf("experiments: T8 node %d: %v", node, err))
+					}
+				}
+			}(wire.NodeID(w + 1))
+		}
+		wg.Wait()
+		return float64(writers*perWriter) / time.Since(start).Seconds()
+	}
+
+	base := run(1)
+	t.AddRow("1 (single lock)", f1(base), "1.00x")
+	for _, shards := range []int{2, 4, 8} {
+		bps := run(shards)
+		t.AddRow(fmt.Sprintf("%d", shards), f1(bps), fmt.Sprintf("%.2fx", bps/base))
+	}
+	t.Note("direct in-process ingest; writers use distinct nodes so batches hash onto distinct shards; GOMAXPROCS=%d bounds the achievable parallel speedup",
+		runtime.GOMAXPROCS(0))
+	return t
+}

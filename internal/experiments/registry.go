@@ -37,6 +37,7 @@ func All() []Experiment {
 		{"T5", "ingest-throughput", T5IngestThroughput},
 		{"T6", "ingest-saturation", T6IngestSaturation},
 		{"T7", "crash-recovery", T7CrashRecovery},
+		{"T8", "parallel-ingest", T8ParallelIngest},
 		{"A1", "ablation-batching", AblationBatching},
 		{"A2", "ablation-drop-policy", AblationDropPolicy},
 		{"A3", "ablation-capture", AblationCapture},

@@ -50,7 +50,8 @@ func T6IngestSaturation() Table {
 	} else {
 		t.Note("no knee within the sweep: the server kept pace up to 1.25x its unpaced ceiling")
 	}
-	t.Note("p50/p99 from the collector's own meshmon_ingest_latency_seconds histogram; GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
+	t.Note("p50/p99 from the collector's own meshmon_ingest_latency_seconds histogram; GOMAXPROCS=%d, shards=%d",
+		runtime.GOMAXPROCS(0), runtime.GOMAXPROCS(0))
 	return t
 }
 
@@ -64,7 +65,10 @@ type levelResult struct {
 // of the collector's metrics registry.
 func runLevel(offered float64, batches, perBatch int) levelResult {
 	reg := metrics.NewRegistry()
-	c := collector.New(tsdb.New(), collector.Config{Metrics: reg})
+	c := collector.New(tsdb.New(), collector.Config{
+		Metrics: reg,
+		Shards:  runtime.GOMAXPROCS(0), // the sharded default, explicit
+	})
 	srv := httptest.NewServer(c.APIHandler())
 	defer srv.Close()
 	up := uplink.NewHTTP(srv.URL + "/api/v1/ingest")

@@ -32,20 +32,26 @@ type SnapshotDump struct {
 // collector's WAL checkpoints encode collector state and the store with
 // a single gob encoder, since two encoders cannot safely share one
 // buffered reader on the decode side).
+// Each series is copied under its own lock, so a Dump taken while other
+// series ingest is per-series atomic; callers needing a cut that is
+// consistent across series (the collector's checkpoint path) must stop
+// their writers first.
 func (db *DB) Dump() SnapshotDump {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	dump := SnapshotDump{
 		Version: snapshotVersion,
 		Metrics: make(map[string][]SeriesDump, len(db.metrics)),
 	}
 	for name, byLabels := range db.metrics {
 		for _, s := range byLabels {
+			s.mu.Lock()
 			s.sortPoints()
 			dump.Metrics[name] = append(dump.Metrics[name], SeriesDump{
 				Labels: s.labels.clone(),
 				Points: append([]Point(nil), s.points...),
 			})
+			s.mu.Unlock()
 		}
 	}
 	return dump
@@ -75,9 +81,18 @@ func (db *DB) Load(dump SnapshotDump) error {
 		metrics[name] = byLabels
 	}
 	db.mu.Lock()
+	// Cached Series handles may still point into the replaced index; mark
+	// everything old dead so they re-resolve on their next Append.
+	for _, byLabels := range db.metrics {
+		for _, s := range byLabels {
+			s.mu.Lock()
+			s.dead = true
+			s.mu.Unlock()
+		}
+	}
 	db.metrics = metrics
-	db.points = points
 	db.mu.Unlock()
+	db.points.Store(int64(points))
 	return nil
 }
 

@@ -4,8 +4,15 @@
 // aggregation, downsampling and retention pruning — everything the
 // dashboard and the analysis library need.
 //
-// The store is safe for concurrent use: the collector's HTTP ingest path
-// writes from request goroutines while the dashboard reads.
+// The store is safe for concurrent use and locks at series granularity:
+// the index (metric name -> label set -> series) is guarded by one
+// RWMutex, while each series carries its own mutex around its points.
+// Appends to distinct series therefore never contend — which is what
+// lets the collector's node-sharded ingest path scale instead of
+// serialising every shard on one store-wide write lock. Reads are
+// per-series atomic; a cut that is consistent across series comes from
+// the caller holding its own write exclusion (the collector's snapshot
+// path stops ingest on all shards before calling Dump).
 package tsdb
 
 import (
@@ -76,23 +83,36 @@ func (l Labels) matches(m Labels) bool {
 // String renders labels like {a=1,b=2}.
 func (l Labels) String() string { return "{" + l.canonical() + "}" }
 
+// series owns its points under its own lock; labels are immutable after
+// creation and readable without it.
 type series struct {
 	labels Labels
+
+	mu     sync.Mutex
 	points []Point
 	sorted bool
-	// dead marks a series removed from the index by Prune; cached Series
-	// handles revalidate against it before appending.
+	// dead marks a series removed from the index by Prune (or replaced
+	// wholesale by Load); cached Series handles revalidate against it
+	// before appending.
 	dead bool
 }
 
-// sortPoints restores time order after out-of-order appends. It mutates
-// the series and therefore requires the store's write lock.
+// sortPoints restores time order after out-of-order appends. Callers
+// hold s.mu.
 func (s *series) sortPoints() {
 	if s.sorted {
 		return
 	}
 	sort.SliceStable(s.points, func(i, j int) bool { return s.points[i].TS < s.points[j].TS })
 	s.sorted = true
+}
+
+// append adds one sample. Callers hold s.mu.
+func (s *series) append(ts, value float64) {
+	if s.sorted && len(s.points) > 0 && ts < s.points[len(s.points)-1].TS {
+		s.sorted = false
+	}
+	s.points = append(s.points, Point{TS: ts, Value: value})
 }
 
 // rangeIndices returns the half-open index window of points with
@@ -103,9 +123,10 @@ func (s *series) rangeIndices(from, to float64) (lo, hi int) {
 	return lo, hi
 }
 
-// rangePoints copies out the points with from <= TS <= to. The series
-// must already be sorted (see DB.readLock).
+// rangePoints copies out the points with from <= TS <= to, sorting
+// first if needed. Callers hold s.mu.
 func (s *series) rangePoints(from, to float64) []Point {
+	s.sortPoints()
 	lo, hi := s.rangeIndices(from, to)
 	out := make([]Point, hi-lo)
 	copy(out, s.points[lo:hi])
@@ -114,9 +135,12 @@ func (s *series) rangePoints(from, to float64) []Point {
 
 // DB is the store. The zero value is not usable; call New.
 type DB struct {
+	// mu guards only the index; point data lives behind each series' own
+	// mutex. Lock order is always db.mu before series.mu; nothing
+	// acquires db.mu while holding a series lock.
 	mu      sync.RWMutex
 	metrics map[string]map[string]*series // name -> canonical labels -> series
-	points  int
+	points  atomic.Int64
 	// inst holds the optional self-observability instruments; an atomic
 	// pointer so readers on the append fast path never take an extra lock.
 	inst atomic.Pointer[dbInstruments]
@@ -159,7 +183,7 @@ func New() *DB {
 }
 
 // getOrCreateLocked returns the series for (name, labels), creating it
-// if missing. Callers must hold the write lock.
+// if missing. Callers must hold the index write lock.
 func (db *DB) getOrCreateLocked(name string, labels Labels) *series {
 	byLabels, ok := db.metrics[name]
 	if !ok {
@@ -175,103 +199,87 @@ func (db *DB) getOrCreateLocked(name string, labels Labels) *series {
 	return s
 }
 
-// appendLocked adds one sample to s. Callers must hold the write lock.
-func (db *DB) appendLocked(s *series, ts, value float64) {
-	if s.sorted && len(s.points) > 0 && ts < s.points[len(s.points)-1].TS {
-		s.sorted = false
-	}
-	s.points = append(s.points, Point{TS: ts, Value: value})
-	db.points++
-	if m := db.inst.Load(); m != nil {
-		m.appends.Inc()
+// lookup returns the live series for (name, labels) or nil.
+func (db *DB) lookup(name, key string) *series {
+	db.mu.RLock()
+	s := db.metrics[name][key]
+	db.mu.RUnlock()
+	return s
+}
+
+// lockLive locks s if it is still in the index, otherwise re-resolves
+// (name, labels) under the index write lock and tries again. It returns
+// the locked, live series.
+func (db *DB) lockLive(s *series, name string, labels Labels) *series {
+	for {
+		if s != nil {
+			s.mu.Lock()
+			if !s.dead {
+				return s
+			}
+			s.mu.Unlock()
+		}
+		db.mu.Lock()
+		s = db.getOrCreateLocked(name, labels)
+		db.mu.Unlock()
 	}
 }
 
 // Append adds a sample to the series (name, labels).
 func (db *DB) Append(name string, labels Labels, ts, value float64) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.appendLocked(db.getOrCreateLocked(name, labels), ts, value)
+	s := db.lockLive(db.lookup(name, labels.canonical()), name, labels)
+	s.append(ts, value)
+	s.mu.Unlock()
+	db.points.Add(1)
+	if m := db.inst.Load(); m != nil {
+		m.appends.Inc()
+	}
 }
 
 // Series is a cached handle to one exact (metric, labels) series: the
 // canonical label key is computed once, so hot ingest paths appending to
 // the same series thousands of times skip the per-call sorting and
 // string building. Handles stay valid across Prune — a pruned-away
-// series is transparently re-registered on the next Append.
+// series is transparently re-registered on the next Append — and are
+// safe for concurrent use.
 type Series struct {
 	db     *DB
 	name   string
 	labels Labels
-	s      *series
+	s      atomic.Pointer[series]
 }
 
 // Series returns a cached append handle for the exact series
 // (name, labels), creating the series if it does not exist yet.
 func (db *DB) Series(name string, labels Labels) *Series {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	return &Series{db: db, name: name, labels: labels.clone(), s: db.getOrCreateLocked(name, labels)}
+	s := db.getOrCreateLocked(name, labels)
+	db.mu.Unlock()
+	h := &Series{db: db, name: name, labels: labels.clone()}
+	h.s.Store(s)
+	return h
 }
 
-// Append adds a sample to the handle's series.
+// Append adds a sample to the handle's series. Distinct series append
+// without contending: only the series' own mutex is taken.
 func (h *Series) Append(ts, value float64) {
-	db := h.db
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if h.s.dead {
-		h.s = db.getOrCreateLocked(h.name, h.labels)
+	s := h.db.lockLive(h.s.Load(), h.name, h.labels)
+	h.s.Store(s)
+	s.append(ts, value)
+	s.mu.Unlock()
+	h.db.points.Add(1)
+	if m := h.db.inst.Load(); m != nil {
+		m.appends.Inc()
 	}
-	db.appendLocked(h.s, ts, value)
 }
 
 // Labels returns the handle's label set (a copy).
 func (h *Series) Labels() Labels { return h.labels.clone() }
 
-// readLock acquires the store's read lock with every series of the
-// metric in sorted order, so range queries can binary-search without
-// mutating. Out-of-order appends are rare; the common case is a plain
-// RLock, letting dashboard reads proceed concurrently with collector
-// ingest. Callers must mu.RUnlock when done.
-func (db *DB) readLock(name string) {
+// match collects the metric's series whose labels contain matcher, in
+// canonical label order.
+func (db *DB) match(name string, matcher Labels) []*series {
 	db.mu.RLock()
-	for db.unsortedLocked(name) {
-		db.mu.RUnlock()
-		db.mu.Lock()
-		for _, s := range db.metrics[name] {
-			s.sortPoints()
-		}
-		db.mu.Unlock()
-		// Re-check under RLock: a concurrent out-of-order Append may have
-		// unsorted a series between the Unlock and the RLock.
-		db.mu.RLock()
-	}
-}
-
-// unsortedLocked reports whether any series of the metric needs sorting.
-// Callers must hold at least the read lock.
-func (db *DB) unsortedLocked(name string) bool {
-	for _, s := range db.metrics[name] {
-		if !s.sorted {
-			return true
-		}
-	}
-	return false
-}
-
-// Result is one matched series with its points in time order.
-type Result struct {
-	Labels Labels
-	Points []Point
-}
-
-// Query returns every series of the metric whose labels contain matcher,
-// restricted to from <= TS <= to, sorted by canonical label string. It
-// holds only the read lock in the common (time-ordered) case, so
-// dashboard reads do not serialize against collector ingest.
-func (db *DB) Query(name string, matcher Labels, from, to float64) []Result {
-	defer db.observeQuery(time.Now())
-	db.readLock(name)
 	defer db.mu.RUnlock()
 	byLabels := db.metrics[name]
 	keys := make([]string, 0, len(byLabels))
@@ -281,10 +289,31 @@ func (db *DB) Query(name string, matcher Labels, from, to float64) []Result {
 		}
 	}
 	sort.Strings(keys)
-	out := make([]Result, 0, len(keys))
-	for _, k := range keys {
-		s := byLabels[k]
+	out := make([]*series, len(keys))
+	for i, k := range keys {
+		out[i] = byLabels[k]
+	}
+	return out
+}
+
+// Result is one matched series with its points in time order.
+type Result struct {
+	Labels Labels
+	Points []Point
+}
+
+// Query returns every series of the metric whose labels contain matcher,
+// restricted to from <= TS <= to, sorted by canonical label string.
+// Each series is copied out under its own lock, so queries proceed
+// concurrently with ingest into other series.
+func (db *DB) Query(name string, matcher Labels, from, to float64) []Result {
+	defer db.observeQuery(time.Now())
+	matched := db.match(name, matcher)
+	out := make([]Result, 0, len(matched))
+	for _, s := range matched {
+		s.mu.Lock()
 		out = append(out, Result{Labels: s.labels.clone(), Points: s.rangePoints(from, to)})
+		s.mu.Unlock()
 	}
 	return out
 }
@@ -292,21 +321,25 @@ func (db *DB) Query(name string, matcher Labels, from, to float64) []Result {
 // QueryOne returns the single series matching exactly (name, labels), or
 // false when it does not exist.
 func (db *DB) QueryOne(name string, labels Labels, from, to float64) (Result, bool) {
-	db.readLock(name)
-	defer db.mu.RUnlock()
-	s, ok := db.metrics[name][labels.canonical()]
-	if !ok {
+	s := db.lookup(name, labels.canonical())
+	if s == nil {
 		return Result{}, false
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return Result{Labels: s.labels.clone(), Points: s.rangePoints(from, to)}, true
 }
 
 // Latest returns the most recent sample of the exact series.
 func (db *DB) Latest(name string, labels Labels) (Point, bool) {
-	db.readLock(name)
-	defer db.mu.RUnlock()
-	s, ok := db.metrics[name][labels.canonical()]
-	if !ok || len(s.points) == 0 {
+	s := db.lookup(name, labels.canonical())
+	if s == nil {
+		return Point{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sortPoints()
+	if len(s.points) == 0 {
 		return Point{}, false
 	}
 	return s.points[len(s.points)-1], true
@@ -320,23 +353,15 @@ func (db *DB) Latest(name string, labels Labels) (Point, bool) {
 // returned when no point matches (count returns 0).
 func (db *DB) AggregateRange(name string, matcher Labels, from, to float64, agg Agg) float64 {
 	defer db.observeQuery(time.Now())
-	db.readLock(name)
-	defer db.mu.RUnlock()
-	byLabels := db.metrics[name]
-	keys := make([]string, 0, len(byLabels))
-	for k, s := range byLabels {
-		if s.labels.matches(matcher) {
-			keys = append(keys, k)
-		}
-	}
-	sort.Strings(keys)
+	matched := db.match(name, matcher)
 
 	n := 0
 	sum := 0.0
 	min, max := math.Inf(1), math.Inf(-1)
 	last, lastTS := 0.0, math.Inf(-1)
-	for _, k := range keys {
-		s := byLabels[k]
+	for _, s := range matched {
+		s.mu.Lock()
+		s.sortPoints()
 		lo, hi := s.rangeIndices(from, to)
 		for _, p := range s.points[lo:hi] {
 			sum += p.Value
@@ -351,6 +376,7 @@ func (db *DB) AggregateRange(name string, matcher Labels, from, to float64, agg 
 			}
 		}
 		n += hi - lo
+		s.mu.Unlock()
 	}
 	if agg == AggCount {
 		return float64(n)
@@ -399,9 +425,7 @@ func (db *DB) SeriesCount() int {
 
 // PointCount returns the number of stored samples.
 func (db *DB) PointCount() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.points
+	return int(db.points.Load())
 }
 
 // observeQuery records one read-path latency sample when instrumented.
@@ -415,27 +439,28 @@ func (db *DB) observeQuery(start time.Time) {
 // It returns how many samples were dropped.
 func (db *DB) Prune(before float64) int {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	dropped := 0
 	for name, byLabels := range db.metrics {
 		for key, s := range byLabels {
+			s.mu.Lock()
 			s.sortPoints()
 			cut := sort.Search(len(s.points), func(i int) bool { return s.points[i].TS >= before })
-			if cut == 0 {
-				continue
+			if cut > 0 {
+				dropped += cut
+				s.points = append([]Point(nil), s.points[cut:]...)
+				if len(s.points) == 0 {
+					s.dead = true // cached Series handles re-register on next Append
+					delete(byLabels, key)
+				}
 			}
-			dropped += cut
-			s.points = append([]Point(nil), s.points[cut:]...)
-			if len(s.points) == 0 {
-				s.dead = true // cached Series handles re-register on next Append
-				delete(byLabels, key)
-			}
+			s.mu.Unlock()
 		}
 		if len(byLabels) == 0 {
 			delete(db.metrics, name)
 		}
 	}
-	db.points -= dropped
+	db.mu.Unlock()
+	db.points.Add(int64(-dropped))
 	if m := db.inst.Load(); m != nil {
 		m.pruneRuns.Inc()
 		m.pruneDropped.Add(float64(dropped))

@@ -26,7 +26,15 @@
 // Append writes the frame with one write(2) call and then syncs per the
 // configured policy: SyncEveryBatch makes acknowledged = durable (the
 // zero-acked-loss mode), SyncInterval bounds loss to one flush window,
-// SyncNone leaves durability to segment rotation and shutdown. Open
+// SyncNone leaves durability to segment rotation and shutdown.
+//
+// Under SyncEveryBatch concurrent appenders group-commit: the first
+// waiter becomes the fsync leader while later appenders write their
+// frames and wait on the same sync, so N concurrent batches cost one
+// fsync instead of N. Each Append still returns only after its own
+// frame is durable, so the acknowledged = durable contract is
+// unchanged — the collector's shards share one appender without
+// serialising on the disk. Open
 // scans every segment, truncates a torn final record (a crash mid-write)
 // and refuses corruption anywhere earlier. Checkpoint rotates to a fresh
 // segment, writes the snapshot atomically (tmp + rename) and deletes the
@@ -160,6 +168,15 @@ type Log struct {
 	buf       []byte
 	sealed    bool
 
+	// Group-commit state. syncCond (on mu) wakes appenders waiting for
+	// durability; syncing marks a leader fsync in flight with mu
+	// released; activeGen increments every time a segment is closed, so
+	// a waiter whose generation is behind knows its bytes were synced by
+	// rotation/Seal before the close.
+	syncCond  *sync.Cond
+	syncing   bool
+	activeGen uint64
+
 	flushStop chan struct{}
 	flushDone chan struct{}
 }
@@ -189,6 +206,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
 	l := &Log{dir: dir, opts: opts}
+	l.syncCond = sync.NewCond(&l.mu)
 	if opts.Metrics != nil {
 		l.inst = &instruments{
 			appends: opts.Metrics.NewCounter("meshmon_wal_appends_total",
@@ -446,6 +464,11 @@ func (l *Log) Append(b wire.Batch) error {
 		if err := l.rotateLocked(); err != nil {
 			return err
 		}
+		// rotateLocked may have waited out an in-flight leader fsync with
+		// mu released; the log can be sealed by the time it returns.
+		if l.sealed {
+			return ErrSealed
+		}
 	}
 	if l.active == nil {
 		if err := l.openSegmentLocked(); err != nil {
@@ -465,9 +488,53 @@ func (l *Log) Append(b wire.Batch) error {
 		l.inst.bytes.Add(float64(frame))
 	}
 	if l.opts.Sync == SyncEveryBatch {
-		return l.syncLocked()
+		return l.waitDurableLocked(l.activeGen, l.activeLen)
 	}
 	return nil
+}
+
+// waitDurableLocked blocks until the active segment is durable through
+// offset off of generation gen, group-committing with concurrent
+// appenders: the first waiter becomes the leader and fsyncs with mu
+// released, everyone else waits on syncCond and is satisfied by the
+// leader's sync (or by a later rotation/Seal, which syncs before
+// closing and bumps activeGen). Returns ErrSealed when the bytes were
+// torn away by Crash before reaching stable storage.
+func (l *Log) waitDurableLocked(gen uint64, off int64) error {
+	for {
+		if gen < l.activeGen || (gen == l.activeGen && l.syncedLen >= off) {
+			return nil // segments close only after a sync, except via Crash
+		}
+		if l.sealed {
+			// Crash sealed the log with our frame still unsynced; the
+			// truncate threw it away, so the caller must not ack it.
+			return ErrSealed
+		}
+		if l.syncing {
+			l.syncCond.Wait()
+			continue
+		}
+		// Become the leader: capture the current tail so every frame
+		// written before this point rides one fsync.
+		l.syncing = true
+		f := l.active
+		tgen := l.activeGen
+		target := l.activeLen
+		l.mu.Unlock()
+		err := f.Sync()
+		l.mu.Lock()
+		l.syncing = false
+		if err == nil && tgen == l.activeGen && target > l.syncedLen {
+			l.syncedLen = target
+			if l.inst != nil {
+				l.inst.fsyncs.Inc()
+			}
+		}
+		l.syncCond.Broadcast()
+		if err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+	}
 }
 
 // openSegmentLocked creates the next segment and writes its header.
@@ -488,16 +555,28 @@ func (l *Log) openSegmentLocked() error {
 	return nil
 }
 
-// rotateLocked seals the active segment into the replayable list.
+// rotateLocked seals the active segment into the replayable list. It
+// may release mu while waiting out an in-flight leader fsync, so
+// callers must revalidate sealed/active state afterwards.
 func (l *Log) rotateLocked() error {
-	if l.active == nil {
+	f := l.active
+	if f == nil {
+		return nil
+	}
+	// Never close a file a group-commit leader is fsyncing. Waiting
+	// releases mu, so recheck: another goroutine may have rotated or
+	// sealed meanwhile, in which case this rotation is already done.
+	for l.syncing {
+		l.syncCond.Wait()
+	}
+	if l.active != f {
 		return nil
 	}
 	if err := l.syncLocked(); err != nil {
 		return err
 	}
-	path := l.active.Name()
-	if err := l.active.Close(); err != nil {
+	path := f.Name()
+	if err := f.Close(); err != nil {
 		return fmt.Errorf("wal: rotate: %w", err)
 	}
 	var idx uint64
@@ -506,6 +585,8 @@ func (l *Log) rotateLocked() error {
 	l.active = nil
 	l.activeLen = 0
 	l.syncedLen = 0
+	l.activeGen++ // closed fully synced: lagging waiters are durable
+	l.syncCond.Broadcast()
 	return nil
 }
 
@@ -524,11 +605,20 @@ func (l *Log) syncLocked() error {
 	return nil
 }
 
-// Sync forces an fsync of the active segment regardless of policy.
+// Sync forces an fsync of the active segment regardless of policy. It
+// rides the group-commit path, so the interval flusher coalesces with
+// any concurrent SyncEveryBatch appenders instead of double-syncing.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.syncLocked()
+	if l.active == nil || l.syncedLen == l.activeLen {
+		return nil
+	}
+	err := l.waitDurableLocked(l.activeGen, l.activeLen)
+	if errors.Is(err, ErrSealed) {
+		return nil // sealed mid-wait; Seal/Crash own durability now
+	}
+	return err
 }
 
 // flushLoop services SyncInterval. stop is passed in rather than read
@@ -612,7 +702,14 @@ func (l *Log) Seal() error {
 	if l.sealed {
 		return nil
 	}
+	for l.syncing { // let an in-flight leader fsync finish first
+		l.syncCond.Wait()
+	}
+	if l.sealed {
+		return nil
+	}
 	l.sealed = true
+	defer l.syncCond.Broadcast() // wake waiters to observe the seal
 	if l.active == nil {
 		return nil
 	}
@@ -623,6 +720,7 @@ func (l *Log) Seal() error {
 		return fmt.Errorf("wal: seal: %w", err)
 	}
 	l.active = nil
+	l.activeGen++ // closed fully synced: lagging waiters are durable
 	return nil
 }
 
@@ -640,7 +738,16 @@ func (l *Log) Crash() error {
 	if l.sealed {
 		return nil
 	}
+	for l.syncing { // a leader mid-fsync holds the file; let it land
+		l.syncCond.Wait()
+	}
+	if l.sealed {
+		return nil
+	}
 	l.sealed = true
+	// sealed with syncedLen < activeLen: waiters past the synced offset
+	// get ErrSealed, matching the truncate below that tears their frames.
+	defer l.syncCond.Broadcast()
 	if l.active == nil {
 		return nil
 	}
