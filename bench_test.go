@@ -41,6 +41,7 @@ func BenchmarkF6TopologyInference(b *testing.B) {
 }
 func BenchmarkT3FailureDetection(b *testing.B) { benchTable(b, experiments.T3FailureDetection) }
 func BenchmarkF7QueryLatency(b *testing.B)     { benchTable(b, experiments.F7QueryLatency) }
+func BenchmarkF7bTieredQuery(b *testing.B)     { benchTable(b, experiments.F7bTieredQuery) }
 func BenchmarkF8MeshVsStar(b *testing.B)       { benchTable(b, experiments.F8MeshVsStar) }
 func BenchmarkT4OverheadSplit(b *testing.B)    { benchTable(b, experiments.T4OverheadSplit) }
 

@@ -34,7 +34,10 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
-		retention   = flag.Float64("retention", 0, "drop samples older than this many seconds behind the newest (0 = keep all)")
+		retention   = flag.Float64("retention", 0, "alias for -retain-raw (kept for compatibility)")
+		retainRaw   = flag.Float64("retain-raw", 0, "drop raw samples older than this many seconds behind the newest (0 = keep all)")
+		retain1m    = flag.Float64("retain-1m", 0, "keep 1-minute rollups for this many seconds (0 with -retain-1h set = forever; both 0 = rollups off)")
+		retain1h    = flag.Float64("retain-1h", 0, "keep 1-hour rollups for this many seconds (0 with -retain-1m set = forever; both 0 = rollups off)")
 		recent      = flag.Int("recent", 1000, "packet records kept for the live-traffic view")
 		shards      = flag.Int("shards", 0, "node-partitioned ingest shards (0 = one per GOMAXPROCS)")
 		hbTimeout   = flag.Float64("node-down-after", 90, "node-down alert after this many record-seconds of heartbeat silence")
@@ -79,10 +82,16 @@ func main() {
 			log.Fatalf("open WAL: %v", err)
 		}
 	}
+	rawHorizon := *retainRaw
+	if rawHorizon == 0 {
+		rawHorizon = *retention
+	}
 	coll := collector.New(db, collector.Config{
 		RecentPackets: *recent,
 		Shards:        *shards,
-		RetentionS:    *retention,
+		RetentionS:    rawHorizon,
+		Retain1mS:     *retain1m,
+		Retain1hS:     *retain1h,
 		Metrics:       reg,
 		WAL:           wlog,
 	})

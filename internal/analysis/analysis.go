@@ -158,15 +158,17 @@ func ConvergenceFromTelemetry(c collector.View, n int) (float64, bool) {
 	}
 	latest := 0.0
 	for _, info := range nodes {
-		res, ok := c.DB().QueryOne("node_route_count",
+		it, ok := c.DB().IterOne("node_route_count",
 			tsdb.Labels{"node": info.ID.String()}, 0, math.MaxFloat64)
 		if !ok {
 			return 0, false
 		}
+		// Streaming early-exit: decoding stops at the first qualifying
+		// sample instead of materialising the whole series.
 		first := math.NaN()
-		for _, p := range res.Points {
-			if p.Value >= float64(n-1) {
-				first = p.TS
+		for it.Next() {
+			if ts, v := it.At(); v >= float64(n-1) {
+				first = ts
 				break
 			}
 		}
@@ -183,11 +185,9 @@ func ConvergenceFromTelemetry(c collector.View, n int) (float64, bool) {
 // PacketEventsIngested counts the packet-event records materialised in
 // the store over [from, to].
 func PacketEventsIngested(c collector.View, from, to float64) uint64 {
-	var total uint64
-	for _, res := range c.DB().Query("mesh_packets", nil, from, to) {
-		total += uint64(len(res.Points))
-	}
-	return total
+	// Count pushdown: the store folds compressed chunks directly, no
+	// point slice is materialised.
+	return uint64(c.DB().AggregateRange("mesh_packets", nil, from, to, tsdb.AggCount))
 }
 
 // Completeness is the fraction of ground-truth events visible at the
@@ -223,20 +223,26 @@ func SilentNodes(c collector.View, now, timeoutS float64) []wire.NodeID {
 // maxGapS count as downtime). It returns NaN when the node reported no
 // heartbeats in the window.
 func Availability(c collector.View, node wire.NodeID, from, now, maxGapS float64) float64 {
-	res, ok := c.DB().QueryOne("node_uptime", tsdb.Labels{"node": node.String()}, from, now)
-	if !ok || len(res.Points) == 0 || now <= from {
+	it, ok := c.DB().IterOne("node_uptime", tsdb.Labels{"node": node.String()}, from, now)
+	if !ok || now <= from {
 		return math.NaN()
 	}
 	alive := 0.0
 	prev := from
-	for _, p := range res.Points {
-		gap := p.TS - prev
+	beats := 0
+	for it.Next() {
+		ts, _ := it.At()
+		gap := ts - prev
 		if gap <= maxGapS {
 			alive += gap
 		} else {
 			alive += maxGapS // the beacon only attests maxGapS of history
 		}
-		prev = p.TS
+		prev = ts
+		beats++
+	}
+	if beats == 0 {
+		return math.NaN()
 	}
 	// Credit the tail only if the last heartbeat is fresh.
 	if tail := now - prev; tail <= maxGapS {

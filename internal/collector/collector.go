@@ -74,9 +74,17 @@ type Config struct {
 	// leaks into snapshots, so a log written with one count recovers
 	// under another.
 	Shards int
-	// Retention drops samples older than this many seconds behind the
-	// newest ingested timestamp; zero disables pruning.
+	// Retention drops raw samples older than this many seconds behind
+	// the newest ingested timestamp; zero disables pruning.
 	RetentionS float64
+	// Retain1mS / Retain1hS enable the store's rollup tiers: telemetry
+	// is additionally downsampled into 1-minute and 1-hour buckets kept
+	// for these horizons (zero with the other tier set keeps that tier
+	// forever). With either set, RetentionS becomes the raw tier's
+	// horizon and coarse queries over evicted raw history are answered
+	// from the rollups.
+	Retain1mS float64
+	Retain1hS float64
 	// OnIngest, when set, is invoked (outside the collector's lock) for
 	// every successfully ingested batch — the hook for exporters and
 	// recorders.
@@ -93,6 +101,9 @@ type Config struct {
 	// (subject to the log's fsync policy). Recover replays it on boot.
 	WAL *wal.Log
 }
+
+// tiered reports whether rollup tiers are configured.
+func (cfg Config) tiered() bool { return cfg.Retain1mS > 0 || cfg.Retain1hS > 0 }
 
 // DefaultConfig keeps the last 1000 packet records and all samples.
 func DefaultConfig() Config {
@@ -332,6 +343,13 @@ func New(db *tsdb.DB, cfg Config) *Collector {
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
+	}
+	if cfg.tiered() {
+		db.ConfigureTiers(tsdb.Retention{
+			RawS:      cfg.RetentionS,
+			Rollup1mS: cfg.Retain1mS,
+			Rollup1hS: cfg.Retain1hS,
+		})
 	}
 	c := &Collector{
 		cfg:    cfg,
@@ -669,7 +687,9 @@ func (s *shard) ingest(b wire.Batch, persist bool) (bool, error) {
 	for _, h := range b.Heartbeats {
 		s.ingestHeartbeat(st, h)
 	}
-	if maxTS := c.MaxTS(); c.cfg.RetentionS > 0 && maxTS > c.cfg.RetentionS {
+	if maxTS := c.MaxTS(); c.cfg.tiered() {
+		c.db.Retain(maxTS)
+	} else if c.cfg.RetentionS > 0 && maxTS > c.cfg.RetentionS {
 		c.db.Prune(maxTS - c.cfg.RetentionS)
 	}
 	return true, nil

@@ -232,8 +232,11 @@ func (c *Collector) handleQuery(w http.ResponseWriter, r *http.Request) {
 			matcher[key[6:]] = vals[0]
 		}
 	}
-	results := c.db.Query(metric, matcher, from, to)
-	// Optional server-side downsampling: step (seconds) + agg.
+	// Optional server-side downsampling: step (seconds) + agg. The
+	// bucketed path goes through QueryRange, which aggregates straight
+	// off compressed chunks and may answer from a rollup tier when the
+	// resolution (or raw eviction) allows.
+	var results []tsdb.Result
 	if stepStr := q.Get("step"); stepStr != "" {
 		step, err := strconv.ParseFloat(stepStr, 64)
 		if err != nil || step <= 0 {
@@ -250,9 +253,9 @@ func (c *Collector) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("collector: unknown agg %q", agg))
 			return
 		}
-		for i := range results {
-			results[i].Points = tsdb.Downsample(results[i].Points, from, step, agg)
-		}
+		results = c.db.QueryRange(metric, matcher, from, to, step, agg)
+	} else {
+		results = c.db.Query(metric, matcher, from, to)
 	}
 	writeJSON(w, http.StatusOK, results)
 }

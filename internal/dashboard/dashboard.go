@@ -269,7 +269,21 @@ func (s *Server) handleChart(w http.ResponseWriter, r *http.Request) {
 		fmt.Sscanf(v, "%g", &to) //nolint:errcheck
 	}
 	chart := svgLineChart{Title: metric, Width: 640, Height: 240}
-	for _, res := range s.coll.DB().Query(metric, matcher, from, to) {
+	// Query at display resolution: one bucket per pixel column. The
+	// store answers from the coarsest tier that satisfies the step, so
+	// charting a week of telemetry reads rollup chunks instead of
+	// decoding (or even retaining) millions of raw points.
+	qto := to
+	if qto == math.MaxFloat64 {
+		qto = s.coll.MaxTS()
+	}
+	var results []tsdb.Result
+	if step := (qto - from) / float64(chart.Width); step > 0 {
+		results = s.coll.DB().QueryRange(metric, matcher, from, qto, step, tsdb.AggAvg)
+	} else {
+		results = s.coll.DB().Query(metric, matcher, from, to)
+	}
+	for _, res := range results {
 		label := res.Labels.String()
 		chart.Series = append(chart.Series, chartSeries{Label: label, Points: res.Points})
 	}

@@ -101,6 +101,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if v, ok := counterVal("meshmon_tsdb_series"); ok {
 		stat("tsdb series", "%.0f", v)
 	}
+	if v, ok := counterVal("meshmon_tsdb_compressed_bytes"); ok {
+		stat("tsdb compressed bytes", "%.0f", v)
+	}
+	// Compression ratio: 16 raw bytes per (TS, Value) sample against the
+	// sealed chunks' actual footprint.
+	if bps, ok := counterVal("meshmon_tsdb_bytes_per_sample"); ok && bps > 0 {
+		statS("tsdb compression", fmt.Sprintf("%.1fx (%.2f B/sample)", 16/bps, bps))
+	}
 	if v, ok := counterVal("meshmon_alert_active"); ok {
 		stat("active alerts", "%.0f", v)
 	}

@@ -28,6 +28,7 @@ func All() []Experiment {
 		{"F6", "topology-inference", F6TopologyInference},
 		{"T3", "failure-detection", T3FailureDetection},
 		{"F7", "query-latency", F7QueryLatency},
+		{"F7b", "tiered-query", F7bTieredQuery},
 		{"F8", "mesh-vs-star", F8MeshVsStar},
 		{"F9", "latency-vs-hops", F9LatencyVsHops},
 		{"F10", "mobility", F10Mobility},

@@ -10,15 +10,38 @@ import (
 
 // Snapshot/Restore persist the whole store, giving the collector binary
 // durability across restarts (the stdlib stand-in for InfluxDB's disk
-// storage). The format is a versioned gob stream.
+// storage). The format is a versioned gob stream. Since v2, sealed
+// chunks are persisted in compressed form — a checkpoint costs bytes
+// proportional to the compressed store, not to the raw point count —
+// and rollup tiers round-trip alongside the raw data so a restart does
+// not forget downsampled history.
 
-// snapshotVersion guards format evolution.
-const snapshotVersion = 1
+// snapshotVersion guards format evolution. v1 held raw []Point per
+// series; v2 adds compressed blocks, last-sample tracking and rollup
+// tiers. Load accepts both.
+const snapshotVersion = 2
+
+// RollupDump is one rollup tier of one series in a snapshot (exported
+// for encoding only).
+type RollupDump struct {
+	Step       float64 // bucket width, matches a tierSteps entry
+	Blocks     []Chunk
+	Head       []RollupSample
+	Open       RollupSample
+	HasOpen    bool
+	OpenLastTS float64
+}
 
 // SeriesDump is one series in a snapshot (exported for encoding only).
+// Blocks hold the sealed chunks still compressed; Points is only the
+// mutable head (in a v1 dump it is the entire series).
 type SeriesDump struct {
-	Labels Labels
-	Points []Point
+	Labels  Labels
+	Points  []Point
+	Blocks  []Chunk
+	Last    Point
+	HasLast bool
+	Rollups []RollupDump
 }
 
 // SnapshotDump is the on-disk model (exported for encoding only).
@@ -32,10 +55,12 @@ type SnapshotDump struct {
 // collector's WAL checkpoints encode collector state and the store with
 // a single gob encoder, since two encoders cannot safely share one
 // buffered reader on the decode side).
-// Each series is copied under its own lock, so a Dump taken while other
-// series ingest is per-series atomic; callers needing a cut that is
-// consistent across series (the collector's checkpoint path) must stop
-// their writers first.
+// Sealed chunks are immutable, so the dump shares their byte slices
+// instead of copying; only the head blocks are copied.
+// Each series is captured under its own lock, so a Dump taken while
+// other series ingest is per-series atomic; callers needing a cut that
+// is consistent across series (the collector's checkpoint path) must
+// stop their writers first.
 func (db *DB) Dump() SnapshotDump {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -46,24 +71,53 @@ func (db *DB) Dump() SnapshotDump {
 	for name, byLabels := range db.metrics {
 		for _, s := range byLabels {
 			s.mu.Lock()
-			s.sortPoints()
-			dump.Metrics[name] = append(dump.Metrics[name], SeriesDump{
+			s.sortHead()
+			sd := SeriesDump{
 				Labels: s.labels.clone(),
-				Points: append([]Point(nil), s.points...),
-			})
+				Points: append([]Point(nil), s.head...),
+			}
+			for _, c := range s.blocks {
+				sd.Blocks = append(sd.Blocks, *c)
+			}
+			if s.hasLast {
+				sd.Last = Point{TS: s.lastTS, Value: s.lastVal}
+				sd.HasLast = true
+			}
+			for t := range s.rolls {
+				rs := &s.rolls[t]
+				if len(rs.blocks) == 0 && len(rs.head) == 0 && !rs.hasOpen {
+					continue
+				}
+				rd := RollupDump{
+					Step:       tierSteps[t],
+					Head:       append([]RollupSample(nil), rs.head...),
+					Open:       rs.open,
+					HasOpen:    rs.hasOpen,
+					OpenLastTS: rs.openLastTS,
+				}
+				for _, c := range rs.blocks {
+					rd.Blocks = append(rd.Blocks, *c)
+				}
+				sd.Rollups = append(sd.Rollups, rd)
+			}
+			dump.Metrics[name] = append(dump.Metrics[name], sd)
 			s.mu.Unlock()
 		}
 	}
 	return dump
 }
 
-// Load replaces the store's contents with the dump.
+// Load replaces the store's contents with the dump. Both the current
+// (v2, compressed blocks) and legacy (v1, raw points) formats load;
+// retention/tier configuration is not part of a dump and is preserved
+// as configured on db.
 func (db *DB) Load(dump SnapshotDump) error {
-	if dump.Version != snapshotVersion {
+	if dump.Version < 1 || dump.Version > snapshotVersion {
 		return fmt.Errorf("tsdb: restore: unsupported snapshot version %d", dump.Version)
 	}
 	metrics := make(map[string]map[string]*series, len(dump.Metrics))
 	points := 0
+	var rawBytes, rawSealed, rollBytes int64
 	for name, dumps := range dump.Metrics {
 		byLabels := make(map[string]*series, len(dumps))
 		for _, sd := range dumps {
@@ -71,12 +125,71 @@ func (db *DB) Load(dump SnapshotDump) error {
 			if _, dup := byLabels[key]; dup {
 				return fmt.Errorf("tsdb: restore: duplicate series %s%v", name, sd.Labels)
 			}
-			byLabels[key] = &series{
+			s := &series{
 				labels: sd.Labels.clone(),
-				points: append([]Point(nil), sd.Points...),
-				sorted: false, // re-sort lazily; snapshots are sorted but stay defensive
+				head:   append([]Point(nil), sd.Points...),
+			}
+			prevMax := 0.0
+			for i, c := range sd.Blocks {
+				if c.Cols != 1 {
+					return fmt.Errorf("tsdb: restore: series %s%v: raw chunk with %d columns", name, sd.Labels, c.Cols)
+				}
+				cc := c // own copy; chunks are immutable once attached
+				s.blocks = append(s.blocks, &cc)
+				if i > 0 && cc.MinTS < prevMax {
+					s.sealedOverlap = true
+				}
+				if cc.MaxTS > prevMax || i == 0 {
+					prevMax = cc.MaxTS
+				}
+				rawBytes += int64(len(cc.Data))
+				rawSealed += int64(cc.Count)
+				points += cc.Count
 			}
 			points += len(sd.Points)
+			// headSorted starts false: snapshots are written sorted but the
+			// first read re-checks defensively, as the old store did.
+			if sd.HasLast {
+				s.lastTS, s.lastVal, s.hasLast = sd.Last.TS, sd.Last.Value, true
+			} else {
+				// v1 dump: recover the newest sample by scanning.
+				for _, c := range s.blocks {
+					it := c.Iter()
+					for it.Next() {
+						if ts, v := it.At(); !s.hasLast || ts >= s.lastTS {
+							s.lastTS, s.lastVal, s.hasLast = ts, v, true
+						}
+					}
+				}
+				for _, p := range s.head {
+					if !s.hasLast || p.TS >= s.lastTS {
+						s.lastTS, s.lastVal, s.hasLast = p.TS, p.Value, true
+					}
+				}
+			}
+			for _, rd := range sd.Rollups {
+				t := -1
+				for i, step := range tierSteps {
+					if rd.Step == step {
+						t = i
+					}
+				}
+				if t < 0 {
+					return fmt.Errorf("tsdb: restore: series %s%v: unknown rollup step %g", name, sd.Labels, rd.Step)
+				}
+				rs := &s.rolls[t]
+				rs.head = append([]RollupSample(nil), rd.Head...)
+				rs.open, rs.hasOpen, rs.openLastTS = rd.Open, rd.HasOpen, rd.OpenLastTS
+				for _, c := range rd.Blocks {
+					if c.Cols != rollupCols {
+						return fmt.Errorf("tsdb: restore: series %s%v: rollup chunk with %d columns", name, sd.Labels, c.Cols)
+					}
+					cc := c
+					rs.blocks = append(rs.blocks, &cc)
+					rollBytes += int64(len(cc.Data))
+				}
+			}
+			byLabels[key] = s
 		}
 		metrics[name] = byLabels
 	}
@@ -91,8 +204,12 @@ func (db *DB) Load(dump SnapshotDump) error {
 		}
 	}
 	db.metrics = metrics
+	db.cuts = [1 + tierCount]float64{}
 	db.mu.Unlock()
 	db.points.Store(int64(points))
+	db.rawBytes.Store(rawBytes)
+	db.rawSealed.Store(rawSealed)
+	db.rollBytes.Store(rollBytes)
 	return nil
 }
 

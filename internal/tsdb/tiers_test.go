@@ -1,0 +1,237 @@
+package tsdb
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func tieredDB() *DB {
+	db := New()
+	db.ConfigureTiers(Retention{}) // tiers on, keep everything
+	return db
+}
+
+// TestRollupMatchesRaw checks that every aggregation answered from the
+// 1m tier equals the same aggregation computed from raw points.
+func TestRollupMatchesRaw(t *testing.T) {
+	db := tieredDB()
+	labels := Labels{"node": "a"}
+	// 2 h of 10 s cadence with a value pattern exercising min/max/last.
+	for i := 0; i < 720; i++ {
+		ts := float64(i) * 10
+		v := math.Sin(float64(i)/7)*10 + float64(i%13)
+		db.Append("m", labels, ts, v)
+	}
+	raw, _ := db.QueryOne("m", labels, 0, 7200)
+	for _, agg := range []Agg{AggSum, AggAvg, AggMin, AggMax, AggCount, AggLast} {
+		want := Downsample(raw.Points, 0, 60, agg)
+		if db.PickTier(0, 60) != "1m" {
+			t.Fatalf("PickTier(0, 60) = %q, want 1m", db.PickTier(0, 60))
+		}
+		res := db.QueryRange("m", nil, 0, 7200, 60, agg)
+		if len(res) != 1 {
+			t.Fatalf("agg %s: got %d series", agg, len(res))
+		}
+		if !reflect.DeepEqual(res[0].Points, want) {
+			t.Fatalf("agg %s: rollup result diverges from raw downsample\n got %v\nwant %v",
+				agg, res[0].Points, want)
+		}
+	}
+}
+
+// TestRollupRebucketCoarser re-buckets 1m rollups onto a 5-minute grid
+// and compares against downsampling raw points directly.
+func TestRollupRebucketCoarser(t *testing.T) {
+	db := tieredDB()
+	labels := Labels{"node": "a"}
+	for i := 0; i < 720; i++ {
+		db.Append("m", labels, float64(i)*10, float64(i%29))
+	}
+	raw, _ := db.QueryOne("m", labels, 0, 7200)
+	for _, agg := range []Agg{AggSum, AggMin, AggMax, AggCount, AggLast, AggAvg} {
+		want := Downsample(raw.Points, 0, 300, agg)
+		got := db.QueryRange("m", nil, 0, 7200, 300, agg)[0].Points
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("agg %s: 5m re-bucketing diverges\n got %v\nwant %v", agg, got, want)
+		}
+	}
+}
+
+// TestQueryRangeRawTierMatchesDownsample pins that the raw-tier
+// streaming path is byte-identical to Query + Downsample (the dashboard
+// HTTP contract).
+func TestQueryRangeRawTierMatchesDownsample(t *testing.T) {
+	db := New() // tiers off: every QueryRange reads raw
+	labels := Labels{"node": "a"}
+	for i := 0; i < 100; i++ {
+		db.Append("m", labels, float64(i), float64(i)*1.5)
+	}
+	raw, _ := db.QueryOne("m", labels, 0, 100)
+	for _, agg := range []Agg{AggSum, AggAvg, AggMin, AggMax, AggCount, AggLast} {
+		want := Downsample(raw.Points, 0, 4, agg)
+		got := db.QueryRange("m", nil, 0, 100, 4, agg)[0].Points
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("agg %s: QueryRange diverges from Downsample", agg)
+		}
+	}
+}
+
+// TestPickTierResolutionAndRetention walks the selection matrix: step
+// chooses the coarsest adequate tier; eviction climbs to a coarser one.
+func TestPickTierResolutionAndRetention(t *testing.T) {
+	db := New()
+	db.ConfigureTiers(Retention{RawS: 7200, Rollup1mS: 43200}) // raw 2h, 1m 12h, 1h forever
+	labels := Labels{"node": "a"}
+	// 24 h of 10 s cadence.
+	for i := 0; i < 8640; i++ {
+		db.Append("m", labels, float64(i)*10, 1)
+	}
+	cases := []struct {
+		from, step float64
+		want       string
+	}{
+		{0, 10, "raw"},
+		{0, 59, "raw"},
+		{0, 60, "1m"},
+		{0, 3599, "1m"},
+		{0, 3600, "1h"},
+		{0, 1e6, "1h"},
+	}
+	for _, tc := range cases {
+		if got := db.PickTier(tc.from, tc.step); got != tc.want {
+			t.Fatalf("before eviction: PickTier(%g, %g) = %q, want %q", tc.from, tc.step, got, tc.want)
+		}
+	}
+	db.Retain(86400) // raw keeps last 2 h, 1m keeps last 12 h
+	evicted := []struct {
+		from, step float64
+		want       string
+	}{
+		{86400 - 3600, 10, "raw"}, // last hour still raw
+		{0, 10, "1h"},             // raw gone at from=0, 1m gone too -> climb twice
+		{43200 + 60, 10, "1m"},    // raw gone, 1m still covers
+		{0, 60, "1h"},             // 1m evicted at from=0
+		{86400 - 7200 + 60, 60, "1m"},
+		{0, 3600, "1h"},
+	}
+	for _, tc := range evicted {
+		if got := db.PickTier(tc.from, tc.step); got != tc.want {
+			t.Fatalf("after eviction: PickTier(%g, %g) = %q, want %q", tc.from, tc.step, got, tc.want)
+		}
+	}
+	// The climbed query must actually return data from the 1h tier.
+	res := db.QueryRange("m", nil, 0, 86400, 60, AggCount)
+	if len(res) != 1 || len(res[0].Points) == 0 {
+		t.Fatal("evicted-range query returned no rollup data")
+	}
+	total := 0.0
+	for _, p := range res[0].Points {
+		total += p.Value
+	}
+	if total != 8640 {
+		t.Fatalf("1h tier lost samples: counted %v, want 8640", total)
+	}
+}
+
+// TestRetainPerTier checks each tier evicts on its own horizon and that
+// fully empty series disappear.
+func TestRetainPerTier(t *testing.T) {
+	db := New()
+	db.ConfigureTiers(Retention{RawS: 100, Rollup1mS: 7200, Rollup1hS: 50000})
+	labels := Labels{"node": "a"}
+	for i := 0; i < 8640; i++ {
+		db.Append("m", labels, float64(i)*10, 1)
+	}
+	dropped := db.Retain(86400)
+	if want := 8640 - 10; dropped != want { // raw keeps ts >= 86300: 10 samples
+		t.Fatalf("Retain dropped %d raw samples, want %d", dropped, want)
+	}
+	if got := db.PointCount(); got != 10 {
+		t.Fatalf("PointCount = %d, want 10", got)
+	}
+	if _, p1m := db.tierCounts(0); p1m != 120 { // 1m keeps ts >= 79200: 7200s/60
+		t.Fatalf("1m buckets = %d, want 120", p1m)
+	}
+	if _, p1h := db.tierCounts(1); p1h != 13 { // 1h keeps >= 36400: closed 39600..79200 + open 82800
+		t.Fatalf("1h buckets = %d, want 13", p1h)
+	}
+	// Evict everything: the series must vanish entirely.
+	db.ConfigureTiers(Retention{RawS: 1, Rollup1mS: 1, Rollup1hS: 1})
+	db.Retain(1e9)
+	if db.SeriesCount() != 0 || len(db.MetricNames()) != 0 {
+		t.Fatalf("series survived total eviction: %d series", db.SeriesCount())
+	}
+}
+
+// TestRollupOutOfOrderDropped confirms samples older than the open
+// bucket are absent from rollups but present in raw.
+func TestRollupOutOfOrderDropped(t *testing.T) {
+	db := tieredDB()
+	labels := Labels{"node": "a"}
+	db.Append("m", labels, 130, 1) // opens 1m bucket 120
+	db.Append("m", labels, 30, 2)  // older bucket: dropped from rollups
+	db.Append("m", labels, 140, 3)
+	raw, _ := db.QueryOne("m", labels, 0, 1000)
+	if len(raw.Points) != 3 {
+		t.Fatalf("raw kept %d points, want 3", len(raw.Points))
+	}
+	got := db.QueryRange("m", nil, 0, 1000, 60, AggCount)[0].Points
+	want := []Point{{TS: 120, Value: 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("1m rollup = %v, want %v", got, want)
+	}
+}
+
+// TestRollupSealAndSnapshotRoundTrip forces rollup chunks to seal, then
+// round-trips the store through Dump/Load and compares tier contents.
+func TestRollupSealAndSnapshotRoundTrip(t *testing.T) {
+	db := tieredDB()
+	labels := Labels{"node": "a"}
+	// > rollupSealEvery closed 1m buckets so at least one rollup chunk seals.
+	for i := 0; i < 20000; i++ {
+		db.Append("m", labels, float64(i)*5, float64(i%97))
+	}
+	before := db.QueryRange("m", nil, 0, 1e6, 60, AggSum)[0].Points
+	if _, buckets := db.tierCounts(0); buckets <= rollupSealEvery {
+		t.Fatalf("test needs sealed rollup chunks, only %d buckets", buckets)
+	}
+
+	db2 := tieredDB()
+	if err := db2.Load(db.Dump()); err != nil {
+		t.Fatal(err)
+	}
+	after := db2.QueryRange("m", nil, 0, 1e6, 60, AggSum)[0].Points
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("1m rollup diverges across Dump/Load")
+	}
+	// And the open bucket keeps accepting appends post-restore.
+	db2.Append("m", labels, 100000+30, 5)
+	if db2.PointCount() != db.PointCount()+1 {
+		t.Fatalf("post-restore append lost: %d vs %d", db2.PointCount(), db.PointCount()+1)
+	}
+}
+
+// TestCompressionStats sanity-checks the accounting the metrics export.
+func TestCompressionStats(t *testing.T) {
+	db := New()
+	db.SetSealEvery(100)
+	for i := 0; i < 1000; i++ {
+		db.Append("m", Labels{"node": "a"}, float64(i)*10, 21)
+	}
+	bytes, sealed, perSample := db.CompressionStats()
+	if sealed != 1000 {
+		t.Fatalf("sealed = %d, want 1000", sealed)
+	}
+	if bytes <= 0 || perSample <= 0 || perSample > 4 {
+		t.Fatalf("implausible compression stats: bytes=%d perSample=%.2f", bytes, perSample)
+	}
+	dropped := db.Prune(5000)
+	if dropped != 500 {
+		t.Fatalf("Prune dropped %d, want 500", dropped)
+	}
+	_, sealed2, _ := db.CompressionStats()
+	if sealed2 != 500 {
+		t.Fatalf("sealed after prune = %d, want 500", sealed2)
+	}
+}

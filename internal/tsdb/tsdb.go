@@ -1,12 +1,23 @@
 // Package tsdb is a small in-memory time-series store, the stdlib-only
 // stand-in for the InfluxDB instance behind the paper's dashboard. It
 // supports labelled series, range queries with label matching,
-// aggregation, downsampling and retention pruning — everything the
-// dashboard and the analysis library need.
+// aggregation, downsampling, tiered retention and compressed storage —
+// everything the dashboard and the analysis library need.
+//
+// Storage follows the Gorilla design: each series keeps a small
+// mutable head block of recent raw points; once the head fills it is
+// sealed into an immutable compressed chunk (delta-of-delta timestamps,
+// XOR values — see chunk.go). Sealed chunks are never mutated, so the
+// read path snapshots a series' chunk list under its lock and decodes
+// entirely outside it: queries cost ingest only a head copy, never a
+// full-series copy. Optional rollup tiers (1-minute and 1-hour buckets
+// of count/sum/min/max/last) are maintained on the ingest path and let
+// range queries pick the coarsest tier that satisfies the requested
+// resolution and retention window (see tiers.go).
 //
 // The store is safe for concurrent use and locks at series granularity:
 // the index (metric name -> label set -> series) is guarded by one
-// RWMutex, while each series carries its own mutex around its points.
+// RWMutex, while each series carries its own mutex around its blocks.
 // Appends to distinct series therefore never contend — which is what
 // lets the collector's node-sharded ingest path scale instead of
 // serialising every shard on one store-wide write lock. Reads are
@@ -83,55 +94,275 @@ func (l Labels) matches(m Labels) bool {
 // String renders labels like {a=1,b=2}.
 func (l Labels) String() string { return "{" + l.canonical() + "}" }
 
-// series owns its points under its own lock; labels are immutable after
-// creation and readable without it.
+// defaultSealEvery is the head-block size at which a series seals its
+// raw points into a compressed chunk. Small enough that the per-query
+// head copy stays cheap, large enough that chunk overheads amortise.
+const defaultSealEvery = 512
+
+// series owns its blocks under its own lock; labels are immutable
+// after creation and readable without it.
 type series struct {
 	labels Labels
 
-	mu     sync.Mutex
-	points []Point
-	sorted bool
-	// dead marks a series removed from the index by Prune (or replaced
-	// wholesale by Load); cached Series handles revalidate against it
-	// before appending.
+	mu sync.Mutex
+	// blocks are the sealed, immutable compressed chunks in seal order
+	// (ascending MinTS unless sealedOverlap is set).
+	blocks []*Chunk
+	// sealedOverlap marks that out-of-order appends produced chunks
+	// whose time ranges overlap; readers then merge-sort instead of
+	// concatenating.
+	sealedOverlap bool
+	// head is the mutable tail of recent raw points.
+	head       []Point
+	headSorted bool
+	// lastTS/lastVal track the newest sample ever appended, making
+	// Latest O(1) instead of a tail scan.
+	lastTS  float64
+	lastVal float64
+	hasLast bool
+	// rolls are the optional downsampled tiers (1m, 1h), fed on the
+	// append path when the DB has tiers configured.
+	rolls [tierCount]rollState
+	// dead marks a series removed from the index by retention (or
+	// replaced wholesale by Load); cached Series handles revalidate
+	// against it before appending.
 	dead bool
 }
 
-// sortPoints restores time order after out-of-order appends. Callers
+// sortHead restores time order after out-of-order appends. Callers
 // hold s.mu.
-func (s *series) sortPoints() {
-	if s.sorted {
+func (s *series) sortHead() {
+	if s.headSorted {
 		return
 	}
-	sort.SliceStable(s.points, func(i, j int) bool { return s.points[i].TS < s.points[j].TS })
-	s.sorted = true
+	sort.SliceStable(s.head, func(i, j int) bool { return s.head[i].TS < s.head[j].TS })
+	s.headSorted = true
 }
 
-// append adds one sample. Callers hold s.mu.
-func (s *series) append(ts, value float64) {
-	if s.sorted && len(s.points) > 0 && ts < s.points[len(s.points)-1].TS {
-		s.sorted = false
+// append adds one sample, sealing the head into a compressed chunk when
+// it fills. Callers hold s.mu.
+func (s *series) append(db *DB, ts, value float64) {
+	if s.headSorted && len(s.head) > 0 && ts < s.head[len(s.head)-1].TS {
+		s.headSorted = false
 	}
-	s.points = append(s.points, Point{TS: ts, Value: value})
+	s.head = append(s.head, Point{TS: ts, Value: value})
+	if !s.hasLast || ts >= s.lastTS {
+		s.lastTS, s.lastVal, s.hasLast = ts, value, true
+	}
+	if db.tiersOn {
+		for t := range s.rolls {
+			s.rolls[t].feed(db, tierSteps[t], ts, value)
+		}
+	}
+	if len(s.head) >= db.sealEvery {
+		s.seal(db)
+	}
 }
 
-// rangeIndices returns the half-open index window of points with
-// from <= TS <= to. The series must already be sorted.
-func (s *series) rangeIndices(from, to float64) (lo, hi int) {
-	lo = sort.Search(len(s.points), func(i int) bool { return s.points[i].TS >= from })
-	hi = sort.Search(len(s.points), func(i int) bool { return s.points[i].TS > to })
-	return lo, hi
+// seal compresses the head into an immutable chunk. Callers hold s.mu.
+func (s *series) seal(db *DB) {
+	if len(s.head) == 0 {
+		return
+	}
+	var start time.Time
+	inst := db.inst.Load()
+	if inst != nil {
+		start = time.Now()
+	}
+	s.sortHead()
+	var enc Encoder
+	enc.Reset(1, len(s.head))
+	for _, p := range s.head {
+		enc.Append(p.TS, p.Value)
+	}
+	c := enc.Chunk()
+	if n := len(s.blocks); n > 0 && c.MinTS < s.blocks[n-1].MaxTS {
+		s.sealedOverlap = true
+	}
+	s.blocks = append(s.blocks, c)
+	s.head = s.head[:0]
+	s.headSorted = true
+	db.rawBytes.Add(int64(len(c.Data)))
+	db.rawSealed.Add(int64(c.Count))
+	if inst != nil {
+		inst.sealDuration.Observe(time.Since(start).Seconds())
+	}
 }
 
-// rangePoints copies out the points with from <= TS <= to, sorting
-// first if needed. Callers hold s.mu.
-func (s *series) rangePoints(from, to float64) []Point {
-	s.sortPoints()
-	lo, hi := s.rangeIndices(from, to)
-	out := make([]Point, hi-lo)
-	copy(out, s.points[lo:hi])
+// rawCount returns the series' raw sample count. Callers hold s.mu.
+func (s *series) rawCount() int {
+	n := len(s.head)
+	for _, c := range s.blocks {
+		n += c.Count
+	}
+	return n
+}
+
+// snapshot captures the series' raw data for lock-free reading: the
+// immutable chunk list is shared, only the (small) head is copied.
+// Callers hold s.mu.
+func (s *series) snapshot() seriesSnap {
+	s.sortHead()
+	sn := seriesSnap{blocks: s.blocks, overlap: s.sealedOverlap}
+	if len(s.head) > 0 {
+		sn.head = append(sn.head, s.head...)
+		if n := len(s.blocks); n > 0 && sn.head[0].TS < s.blocks[n-1].MaxTS {
+			sn.overlap = true
+		}
+	}
+	return sn
+}
+
+// seriesSnap is a point-in-time view of one series' raw tier. Sealed
+// chunks are immutable, so the snapshot reads without any lock.
+type seriesSnap struct {
+	blocks  []*Chunk
+	head    []Point
+	overlap bool
+}
+
+// Iter returns a streaming iterator over the snapshot's points within
+// [from, to], in time order.
+func (sn seriesSnap) Iter(from, to float64) Iter {
+	if sn.overlap {
+		// Rare out-of-order fallback: materialise, stably sort (seal
+		// order preserves append order for equal timestamps), iterate.
+		flat := sn.materialize(math.Inf(-1), math.Inf(1))
+		sort.SliceStable(flat, func(i, j int) bool { return flat[i].TS < flat[j].TS })
+		lo := sort.Search(len(flat), func(i int) bool { return flat[i].TS >= from })
+		hi := sort.Search(len(flat), func(i int) bool { return flat[i].TS > to })
+		return Iter{flat: flat[lo:hi], flatMode: true, from: from, to: to}
+	}
+	return Iter{blocks: sn.blocks, head: sn.head, from: from, to: to}
+}
+
+// materialize decodes the snapshot's points within [from, to] into a
+// fresh slice (chunk order, not globally sorted when overlap is set).
+func (sn seriesSnap) materialize(from, to float64) []Point {
+	est := len(sn.head)
+	for _, c := range sn.blocks {
+		if c.MaxTS >= from && c.MinTS <= to {
+			est += c.Count
+		}
+	}
+	out := make([]Point, 0, est)
+	for _, c := range sn.blocks {
+		if c.MaxTS < from || c.MinTS > to {
+			continue
+		}
+		it := c.Iter()
+		for it.Next() {
+			ts, v := it.At()
+			if ts >= from && ts <= to {
+				out = append(out, Point{TS: ts, Value: v})
+			}
+		}
+	}
+	for _, p := range sn.head {
+		if p.TS >= from && p.TS <= to {
+			out = append(out, Point{TS: p.TS, Value: p.Value})
+		}
+	}
 	return out
 }
+
+// rangePoints returns the snapshot's points within [from, to] in time
+// order — the materialising read used by Query/QueryOne.
+func (sn seriesSnap) rangePoints(from, to float64) []Point {
+	if !sn.overlap {
+		return sn.materialize(from, to)
+	}
+	out := sn.materialize(from, to)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+// Iter streams one series' raw points in time order without
+// materialising them — the aggregate-pushdown building block. The
+// zero value is an empty iterator.
+type Iter struct {
+	blocks  []*Chunk
+	bi      int
+	cur     ChunkIter
+	inChunk bool
+	head    []Point
+	hi      int
+	from    float64
+	to      float64
+
+	// flat is the pre-merged overlap fallback.
+	flat     []Point
+	fi       int
+	flatMode bool
+
+	ts  float64
+	val float64
+}
+
+// Next advances to the next point in [from, to]; it returns false when
+// the range is exhausted.
+func (it *Iter) Next() bool {
+	if it.flatMode {
+		if it.fi >= len(it.flat) {
+			return false
+		}
+		p := it.flat[it.fi]
+		it.fi++
+		it.ts, it.val = p.TS, p.Value
+		return true
+	}
+	for it.bi < len(it.blocks) {
+		if !it.inChunk {
+			c := it.blocks[it.bi]
+			if c.MaxTS < it.from {
+				it.bi++
+				continue
+			}
+			if c.MinTS > it.to {
+				// Chunks are time-ordered: everything later is out of
+				// range too, including the head.
+				it.bi = len(it.blocks)
+				it.hi = len(it.head)
+				return false
+			}
+			it.cur = c.Iter()
+			it.inChunk = true
+		}
+		for it.cur.Next() {
+			ts, v := it.cur.At()
+			if ts < it.from {
+				continue
+			}
+			if ts > it.to {
+				it.bi = len(it.blocks)
+				it.hi = len(it.head)
+				it.inChunk = false
+				return false
+			}
+			it.ts, it.val = ts, v
+			return true
+		}
+		it.inChunk = false
+		it.bi++
+	}
+	for it.hi < len(it.head) {
+		p := it.head[it.hi]
+		it.hi++
+		if p.TS < it.from {
+			continue
+		}
+		if p.TS > it.to {
+			it.hi = len(it.head)
+			return false
+		}
+		it.ts, it.val = p.TS, p.Value
+		return true
+	}
+	return false
+}
+
+// At returns the current point.
+func (it *Iter) At() (ts, value float64) { return it.ts, it.val }
 
 // DB is the store. The zero value is not usable; call New.
 type DB struct {
@@ -141,6 +372,25 @@ type DB struct {
 	mu      sync.RWMutex
 	metrics map[string]map[string]*series // name -> canonical labels -> series
 	points  atomic.Int64
+
+	// sealEvery is the head size that triggers chunk sealing.
+	sealEvery int
+	// tiersOn enables the rollup tiers; set at wiring time via
+	// ConfigureTiers, before the store sees traffic.
+	tiersOn bool
+	// retain holds the per-tier retention horizons in seconds
+	// (raw, 1m, 1h); zero keeps a tier forever.
+	retain [1 + tierCount]float64
+	// cuts records the newest eviction cutoff applied per tier, which is
+	// what tier selection consults to know how far back each tier still
+	// has data. Guarded by mu.
+	cuts [1 + tierCount]float64
+
+	// Compression accounting (sealed data only; the head is raw).
+	rawBytes  atomic.Int64 // compressed bytes across raw-tier chunks
+	rawSealed atomic.Int64 // samples inside raw-tier chunks
+	rollBytes atomic.Int64 // compressed bytes across rollup chunks
+
 	// inst holds the optional self-observability instruments; an atomic
 	// pointer so readers on the append fast path never take an extra lock.
 	inst atomic.Pointer[dbInstruments]
@@ -152,12 +402,15 @@ type dbInstruments struct {
 	pruneRuns    *metrics.Counter
 	pruneDropped *metrics.Counter
 	queryLatency *metrics.Histogram
+	sealDuration *metrics.Histogram
+	rollupOOO    *metrics.Counter
 }
 
 // Instrument registers the store's self-observability metrics into reg:
-// append/prune counters, a query-latency histogram, and scrape-time
-// gauges for the live series and point counts. Call once, at wiring
-// time, before the store sees traffic.
+// append/prune counters, query-latency and seal-duration histograms,
+// and scrape-time gauges for live series/point counts per tier plus
+// compression totals. Call once, at wiring time, before the store sees
+// traffic.
 func (db *DB) Instrument(reg *metrics.Registry) {
 	db.inst.Store(&dbInstruments{
 		appends: reg.NewCounter("meshmon_tsdb_appends_total",
@@ -168,18 +421,67 @@ func (db *DB) Instrument(reg *metrics.Registry) {
 			"Samples dropped by retention pruning."),
 		queryLatency: reg.NewHistogram("meshmon_tsdb_query_seconds",
 			"Latency of range queries and aggregate pushdowns.", nil),
+		sealDuration: reg.NewHistogram("meshmon_tsdb_seal_seconds",
+			"Time to compress one head block into a sealed chunk.", nil),
+		rollupOOO: reg.NewCounter("meshmon_tsdb_rollup_ooo_dropped_total",
+			"Samples too old for the open rollup bucket, absent from rollup tiers (raw tier keeps them)."),
 	})
 	reg.NewGaugeFunc("meshmon_tsdb_series",
 		"Distinct series currently in the store.",
 		func() float64 { return float64(db.SeriesCount()) })
 	reg.NewGaugeFunc("meshmon_tsdb_points",
-		"Samples currently in the store.",
+		"Raw samples currently in the store.",
 		func() float64 { return float64(db.PointCount()) })
+	reg.NewGaugeFunc("meshmon_tsdb_compressed_bytes",
+		"Bytes held in sealed compressed chunks across all tiers.",
+		func() float64 { return float64(db.rawBytes.Load() + db.rollBytes.Load()) })
+	reg.NewGaugeFunc("meshmon_tsdb_bytes_per_sample",
+		"Compressed bytes per sealed raw sample (16 uncompressed).",
+		func() float64 {
+			n := db.rawSealed.Load()
+			if n == 0 {
+				return 0
+			}
+			return float64(db.rawBytes.Load()) / float64(n)
+		})
+	for t := 0; t < tierCount; t++ {
+		t := t
+		reg.NewGaugeFunc("meshmon_tsdb_rollup_"+tierNames[t+1]+"_points",
+			"Downsampled buckets held in the "+tierNames[t+1]+" rollup tier.",
+			func() float64 { s, p := db.tierCounts(t); _ = s; return float64(p) })
+		reg.NewGaugeFunc("meshmon_tsdb_rollup_"+tierNames[t+1]+"_series",
+			"Series with data in the "+tierNames[t+1]+" rollup tier.",
+			func() float64 { s, _ := db.tierCounts(t); return float64(s) })
+	}
 }
 
-// New returns an empty store.
+// New returns an empty store with rollup tiers disabled.
 func New() *DB {
-	return &DB{metrics: make(map[string]map[string]*series)}
+	return &DB{
+		metrics:   make(map[string]map[string]*series),
+		sealEvery: defaultSealEvery,
+	}
+}
+
+// SetSealEvery overrides the head-block size that triggers compression
+// (mainly for tests and experiments). Call at wiring time.
+func (db *DB) SetSealEvery(n int) {
+	if n < 1 {
+		n = 1
+	}
+	db.sealEvery = n
+}
+
+// CompressionStats reports the sealed-storage footprint: compressed
+// bytes across all tiers, samples inside sealed raw chunks, and the
+// raw-tier bytes per sample (0 until something seals).
+func (db *DB) CompressionStats() (compressedBytes, sealedSamples int64, bytesPerSample float64) {
+	compressedBytes = db.rawBytes.Load() + db.rollBytes.Load()
+	sealedSamples = db.rawSealed.Load()
+	if sealedSamples > 0 {
+		bytesPerSample = float64(db.rawBytes.Load()) / float64(sealedSamples)
+	}
+	return
 }
 
 // getOrCreateLocked returns the series for (name, labels), creating it
@@ -193,7 +495,7 @@ func (db *DB) getOrCreateLocked(name string, labels Labels) *series {
 	key := labels.canonical()
 	s, ok := byLabels[key]
 	if !ok {
-		s = &series{labels: labels.clone(), sorted: true}
+		s = &series{labels: labels.clone(), headSorted: true}
 		byLabels[key] = s
 	}
 	return s
@@ -228,7 +530,7 @@ func (db *DB) lockLive(s *series, name string, labels Labels) *series {
 // Append adds a sample to the series (name, labels).
 func (db *DB) Append(name string, labels Labels, ts, value float64) {
 	s := db.lockLive(db.lookup(name, labels.canonical()), name, labels)
-	s.append(ts, value)
+	s.append(db, ts, value)
 	s.mu.Unlock()
 	db.points.Add(1)
 	if m := db.inst.Load(); m != nil {
@@ -239,7 +541,7 @@ func (db *DB) Append(name string, labels Labels, ts, value float64) {
 // Series is a cached handle to one exact (metric, labels) series: the
 // canonical label key is computed once, so hot ingest paths appending to
 // the same series thousands of times skip the per-call sorting and
-// string building. Handles stay valid across Prune — a pruned-away
+// string building. Handles stay valid across retention — a pruned-away
 // series is transparently re-registered on the next Append — and are
 // safe for concurrent use.
 type Series struct {
@@ -265,7 +567,7 @@ func (db *DB) Series(name string, labels Labels) *Series {
 func (h *Series) Append(ts, value float64) {
 	s := h.db.lockLive(h.s.Load(), h.name, h.labels)
 	h.s.Store(s)
-	s.append(ts, value)
+	s.append(h.db, ts, value)
 	s.mu.Unlock()
 	h.db.points.Add(1)
 	if m := h.db.inst.Load(); m != nil {
@@ -302,18 +604,25 @@ type Result struct {
 	Points []Point
 }
 
+// snap captures one series' raw snapshot under its lock.
+func snap(s *series) seriesSnap {
+	s.mu.Lock()
+	sn := s.snapshot()
+	s.mu.Unlock()
+	return sn
+}
+
 // Query returns every series of the metric whose labels contain matcher,
 // restricted to from <= TS <= to, sorted by canonical label string.
-// Each series is copied out under its own lock, so queries proceed
-// concurrently with ingest into other series.
+// Sealed chunks decode outside any lock, so queries only briefly touch
+// each series (to copy its head) and proceed concurrently with ingest.
 func (db *DB) Query(name string, matcher Labels, from, to float64) []Result {
 	defer db.observeQuery(time.Now())
 	matched := db.match(name, matcher)
 	out := make([]Result, 0, len(matched))
 	for _, s := range matched {
-		s.mu.Lock()
-		out = append(out, Result{Labels: s.labels.clone(), Points: s.rangePoints(from, to)})
-		s.mu.Unlock()
+		sn := snap(s)
+		out = append(out, Result{Labels: s.labels.clone(), Points: sn.rangePoints(from, to)})
 	}
 	return out
 }
@@ -325,12 +634,25 @@ func (db *DB) QueryOne(name string, labels Labels, from, to float64) (Result, bo
 	if s == nil {
 		return Result{}, false
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return Result{Labels: s.labels.clone(), Points: s.rangePoints(from, to)}, true
+	sn := snap(s)
+	return Result{Labels: s.labels.clone(), Points: sn.rangePoints(from, to)}, true
 }
 
-// Latest returns the most recent sample of the exact series.
+// IterOne returns a streaming iterator over the exact series' raw
+// points in [from, to] — the no-materialisation read path for analysis
+// passes that fold or early-exit. The iterator is independent of
+// subsequent ingest (sealed chunks are immutable; the head is copied).
+func (db *DB) IterOne(name string, labels Labels, from, to float64) (Iter, bool) {
+	s := db.lookup(name, labels.canonical())
+	if s == nil {
+		return Iter{}, false
+	}
+	return snap(s).Iter(from, to), true
+}
+
+// Latest returns the most recent sample of the exact series. It is
+// O(1): the newest sample is tracked on the append path instead of
+// scanning the tail.
 func (db *DB) Latest(name string, labels Labels) (Point, bool) {
 	s := db.lookup(name, labels.canonical())
 	if s == nil {
@@ -338,48 +660,77 @@ func (db *DB) Latest(name string, labels Labels) (Point, bool) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.sortPoints()
-	if len(s.points) == 0 {
+	if !s.hasLast {
 		return Point{}, false
 	}
-	return s.points[len(s.points)-1], true
+	return Point{TS: s.lastTS, Value: s.lastVal}, true
+}
+
+// countRange counts the snapshot's points in [from, to]. Chunks fully
+// inside the range contribute their stored Count without being decoded
+// — valid even under overlap, since per-chunk Min/MaxTS are exact — so
+// full-range counts cost O(chunks), not O(points).
+func (sn seriesSnap) countRange(from, to float64) int {
+	n := 0
+	for _, c := range sn.blocks {
+		switch {
+		case c.MaxTS < from || c.MinTS > to:
+		case c.MinTS >= from && c.MaxTS <= to:
+			n += c.Count
+		default:
+			it := c.Iter()
+			for it.Next() {
+				if ts, _ := it.At(); ts >= from && ts <= to {
+					n++
+				}
+			}
+		}
+	}
+	for _, p := range sn.head {
+		if p.TS >= from && p.TS <= to {
+			n++
+		}
+	}
+	return n
 }
 
 // AggregateRange folds every point of the metric's matched series in
-// [from, to] into a single value without materialising a copy of the
-// point slices — the aggregate-pushdown fast path for "sum this metric
-// over a window" style queries. Matched series are folded in canonical
+// [from, to] into a single value by streaming compressed chunks — no
+// point slice is materialised (count goes further and reads chunk
+// metadata instead of decoding). Matched series are folded in canonical
 // label order so floating-point results are deterministic. NaN is
 // returned when no point matches (count returns 0).
 func (db *DB) AggregateRange(name string, matcher Labels, from, to float64, agg Agg) float64 {
 	defer db.observeQuery(time.Now())
 	matched := db.match(name, matcher)
+	if agg == AggCount {
+		n := 0
+		for _, s := range matched {
+			n += snap(s).countRange(from, to)
+		}
+		return float64(n)
+	}
 
 	n := 0
 	sum := 0.0
 	min, max := math.Inf(1), math.Inf(-1)
 	last, lastTS := 0.0, math.Inf(-1)
 	for _, s := range matched {
-		s.mu.Lock()
-		s.sortPoints()
-		lo, hi := s.rangeIndices(from, to)
-		for _, p := range s.points[lo:hi] {
-			sum += p.Value
-			if p.Value < min {
-				min = p.Value
+		it := snap(s).Iter(from, to)
+		for it.Next() {
+			ts, v := it.At()
+			sum += v
+			if v < min {
+				min = v
 			}
-			if p.Value > max {
-				max = p.Value
+			if v > max {
+				max = v
 			}
-			if p.TS >= lastTS {
-				last, lastTS = p.Value, p.TS
+			if ts >= lastTS {
+				last, lastTS = v, ts
 			}
+			n++
 		}
-		n += hi - lo
-		s.mu.Unlock()
-	}
-	if agg == AggCount {
-		return float64(n)
 	}
 	if n == 0 {
 		return math.NaN()
@@ -423,7 +774,7 @@ func (db *DB) SeriesCount() int {
 	return n
 }
 
-// PointCount returns the number of stored samples.
+// PointCount returns the number of stored raw samples.
 func (db *DB) PointCount() int {
 	return int(db.points.Load())
 }
@@ -435,30 +786,95 @@ func (db *DB) observeQuery(start time.Time) {
 	}
 }
 
-// Prune drops every sample with TS < before and removes empty series.
-// It returns how many samples were dropped.
-func (db *DB) Prune(before float64) int {
-	db.mu.Lock()
+// pruneSeriesRaw drops the series' raw samples with TS < before:
+// whole chunks below the cutoff are dropped in O(1), a straddling chunk
+// is decoded, filtered and re-sealed, and the head is filtered in
+// place. Callers hold s.mu. Returns how many samples were dropped.
+func (s *series) pruneSeriesRaw(db *DB, before float64) int {
 	dropped := 0
-	for name, byLabels := range db.metrics {
-		for key, s := range byLabels {
-			s.mu.Lock()
-			s.sortPoints()
-			cut := sort.Search(len(s.points), func(i int) bool { return s.points[i].TS >= before })
-			if cut > 0 {
-				dropped += cut
-				s.points = append([]Point(nil), s.points[cut:]...)
-				if len(s.points) == 0 {
-					s.dead = true // cached Series handles re-register on next Append
-					delete(byLabels, key)
-				}
-			}
-			s.mu.Unlock()
-		}
-		if len(byLabels) == 0 {
-			delete(db.metrics, name)
+	affected := false
+	for _, c := range s.blocks {
+		if c.MinTS < before {
+			affected = true
+			break
 		}
 	}
+	if affected {
+		// Snapshots share the blocks backing array with lock-free
+		// readers, so compaction must build a fresh slice rather than
+		// rewrite it in place; in-flight readers keep the old array
+		// alive until they finish.
+		kept := make([]*Chunk, 0, len(s.blocks))
+		for _, c := range s.blocks {
+			switch {
+			case c.MaxTS < before:
+				dropped += c.Count
+				db.rawBytes.Add(int64(-len(c.Data)))
+				db.rawSealed.Add(int64(-c.Count))
+			case c.MinTS >= before:
+				kept = append(kept, c)
+			default:
+				// Straddling chunk: decode, filter, re-seal.
+				var enc Encoder
+				enc.Reset(1, c.Count)
+				it := c.Iter()
+				for it.Next() {
+					ts, v := it.At()
+					if ts >= before {
+						enc.Append(ts, v)
+					} else {
+						dropped++
+					}
+				}
+				db.rawBytes.Add(int64(-len(c.Data)))
+				db.rawSealed.Add(int64(-c.Count))
+				if enc.Count() > 0 {
+					nc := enc.Chunk()
+					db.rawBytes.Add(int64(len(nc.Data)))
+					db.rawSealed.Add(int64(nc.Count))
+					kept = append(kept, nc)
+				}
+			}
+		}
+		s.blocks = kept
+		if len(s.blocks) == 0 {
+			s.sealedOverlap = false
+		}
+	}
+	if len(s.head) > 0 {
+		s.sortHead()
+		cut := sort.Search(len(s.head), func(i int) bool { return s.head[i].TS >= before })
+		if cut > 0 {
+			dropped += cut
+			s.head = append(s.head[:0], s.head[cut:]...)
+		}
+	}
+	return dropped
+}
+
+// hasRollupData reports whether any rollup tier still holds buckets.
+// Callers hold s.mu.
+func (s *series) hasRollupData() bool {
+	for t := range s.rolls {
+		rs := &s.rolls[t]
+		if len(rs.blocks) > 0 || len(rs.head) > 0 || rs.hasOpen {
+			return true
+		}
+	}
+	return false
+}
+
+// Prune drops every raw sample with TS < before and removes series that
+// are empty across every tier. It returns how many raw samples were
+// dropped. (With rollup tiers configured, prefer Retain, which applies
+// each tier's own horizon.)
+func (db *DB) Prune(before float64) int {
+	db.mu.Lock()
+	if before > db.cuts[0] {
+		db.cuts[0] = before
+	}
+	dropped := db.pruneRawLocked(before)
+	db.removeEmptyLocked()
 	db.mu.Unlock()
 	db.points.Add(int64(-dropped))
 	if m := db.inst.Load(); m != nil {
@@ -466,6 +882,38 @@ func (db *DB) Prune(before float64) int {
 		m.pruneDropped.Add(float64(dropped))
 	}
 	return dropped
+}
+
+// pruneRawLocked applies a raw-tier cutoff across all series. Callers
+// hold the index write lock.
+func (db *DB) pruneRawLocked(before float64) int {
+	dropped := 0
+	for _, byLabels := range db.metrics {
+		for _, s := range byLabels {
+			s.mu.Lock()
+			dropped += s.pruneSeriesRaw(db, before)
+			s.mu.Unlock()
+		}
+	}
+	return dropped
+}
+
+// removeEmptyLocked deletes series that hold no data in any tier, and
+// metric names with no series left. Callers hold the index write lock.
+func (db *DB) removeEmptyLocked() {
+	for name, byLabels := range db.metrics {
+		for key, s := range byLabels {
+			s.mu.Lock()
+			if s.rawCount() == 0 && !s.hasRollupData() {
+				s.dead = true // cached Series handles re-register on next Append
+				delete(byLabels, key)
+			}
+			s.mu.Unlock()
+		}
+		if len(byLabels) == 0 {
+			delete(db.metrics, name)
+		}
+	}
 }
 
 // Agg selects an aggregation function.

@@ -10,9 +10,12 @@
 //	go run ./scripts -baseline BENCH_1.json -new BENCH_NEW.json
 //	go run ./scripts -max-growth 1.25   # ratio that trips the gate
 //
-// Allocation counts are deterministic under -j 1, so the allocs gate is
-// tight by design; wall-clock is noisy on shared runners, which is why
-// the threshold is a generous 1.25x rather than a few percent.
+// Allocation counts and allocated bytes are deterministic under -j 1,
+// so those gates are tight by design; wall-clock is noisy on shared
+// runners, which is why the threshold is a generous 1.25x rather than a
+// few percent. bytes_per_op is gated alongside ns and allocs so memory
+// regressions (the old F7 held half a gigabyte of point copies per op)
+// cannot land silently.
 package main
 
 import (
@@ -40,7 +43,7 @@ type report struct {
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_1.json", "committed baseline report")
 	freshPath := flag.String("new", "BENCH_NEW.json", "freshly generated report")
-	maxGrowth := flag.Float64("max-growth", 1.25, "fail when ns/op or allocs/op exceed baseline by this ratio")
+	maxGrowth := flag.Float64("max-growth", 1.25, "fail when ns/op, allocs/op or bytes/op exceed baseline by this ratio")
 	flag.Parse()
 
 	baseline, err := load(*baselinePath)
@@ -57,18 +60,19 @@ func main() {
 		base[r.ID] = r
 	}
 
-	fmt.Printf("%-4s %-22s %14s %14s %12s %12s  %s\n",
-		"id", "name", "ns/op", "Δns", "allocs/op", "Δallocs", "verdict")
+	fmt.Printf("%-4s %-22s %14s %14s %12s %12s %14s %12s  %s\n",
+		"id", "name", "ns/op", "Δns", "allocs/op", "Δallocs", "bytes/op", "Δbytes", "verdict")
 	var failures []string
 	for _, now := range fresh.Results {
 		was, ok := base[now.ID]
 		if !ok {
-			fmt.Printf("%-4s %-22s %14d %14s %12d %12s  new (no baseline)\n",
-				now.ID, now.Name, now.NsPerOp, "-", now.AllocsPerOp, "-")
+			fmt.Printf("%-4s %-22s %14d %14s %12d %12s %14d %12s  new (no baseline)\n",
+				now.ID, now.Name, now.NsPerOp, "-", now.AllocsPerOp, "-", now.BytesPerOp, "-")
 			continue
 		}
 		nsRatio := ratio(float64(now.NsPerOp), float64(was.NsPerOp))
 		alRatio := ratio(float64(now.AllocsPerOp), float64(was.AllocsPerOp))
+		byRatio := ratio(float64(now.BytesPerOp), float64(was.BytesPerOp))
 		verdict := "ok"
 		if nsRatio > *maxGrowth {
 			verdict = fmt.Sprintf("FAIL ns/op %.2fx", nsRatio)
@@ -82,8 +86,16 @@ func main() {
 			failures = append(failures, fmt.Sprintf("%s: allocs/op %d -> %d (%.2fx > %.2fx)",
 				now.ID, was.AllocsPerOp, now.AllocsPerOp, alRatio, *maxGrowth))
 		}
-		fmt.Printf("%-4s %-22s %14d %14s %12d %12s  %s\n",
-			now.ID, now.Name, now.NsPerOp, delta(nsRatio), now.AllocsPerOp, delta(alRatio), verdict)
+		if byRatio > *maxGrowth {
+			if verdict == "ok" {
+				verdict = fmt.Sprintf("FAIL bytes %.2fx", byRatio)
+			}
+			failures = append(failures, fmt.Sprintf("%s: bytes/op %d -> %d (%.2fx > %.2fx)",
+				now.ID, was.BytesPerOp, now.BytesPerOp, byRatio, *maxGrowth))
+		}
+		fmt.Printf("%-4s %-22s %14d %14s %12d %12s %14d %12s  %s\n",
+			now.ID, now.Name, now.NsPerOp, delta(nsRatio), now.AllocsPerOp, delta(alRatio),
+			now.BytesPerOp, delta(byRatio), verdict)
 	}
 
 	// Experiments that vanished from the fresh report usually mean a

@@ -32,6 +32,13 @@ stage_build() {
 stage_test() {
   echo "== go test -race =="
   go test -race ./...
+  echo "== chunk codec property tests =="
+  # The compression codec's round-trip guarantees run again by name (the
+  # quick/adversarial suites plus a bounded pass over the fuzz corpus):
+  # a refactor that renames them out of the suite fails here instead of
+  # silently losing the coverage.
+  go test -race -count=1 -run 'ChunkRoundTrip|ChunkTruncated|DBOutOfOrder|FuzzChunkRoundTrip' \
+    ./internal/tsdb
 }
 
 stage_recover() {
