@@ -423,8 +423,14 @@ func (s *shard) handleFor(key seriesKey) *tsdb.Series {
 	return h
 }
 
-// DB exposes the underlying time-series store (dashboard, analysis).
-func (c *Collector) DB() *tsdb.DB { return c.db }
+// DB exposes the read side of the underlying time-series store
+// (dashboard, analysis). The concrete store stays reachable through
+// TSDB for owners that also write or persist it.
+func (c *Collector) DB() tsdb.Querier { return c.db }
+
+// TSDB returns the concrete backing store — the write/persist side
+// that only the collector's owner (tests, snapshot tooling) needs.
+func (c *Collector) TSDB() *tsdb.DB { return c.db }
 
 // Stats returns collector-wide counters summed across shards. The sum
 // is taken shard by shard, so it is monotone but not a single

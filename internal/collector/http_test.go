@@ -207,7 +207,7 @@ func TestHTTPIngestBinaryBatch(t *testing.T) {
 func TestHTTPQueryDownsampled(t *testing.T) {
 	c, srv := newServer(t)
 	for i := 0; i < 10; i++ {
-		c.DB().Append("m", tsdb.Labels{"node": "N0001"}, float64(i), 1)
+		c.TSDB().Append("m", tsdb.Labels{"node": "N0001"}, float64(i), 1)
 	}
 	r := mustGet(t, srv.URL+"/api/v1/query?metric=m&from=0&to=100&step=4&agg=sum")
 	var res []tsdb.Result

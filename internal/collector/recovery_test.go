@@ -290,7 +290,7 @@ func TestRecoveryRoundTripTiered(t *testing.T) {
 
 	// Rollup tiers are not part of assertCollectorsEqual's raw-query
 	// comparison; check them explicitly across every aggregate.
-	wantDB, gotDB := orig.DB(), recovered.DB()
+	wantDB, gotDB := orig.TSDB(), recovered.TSDB()
 	for _, metric := range wantDB.MetricNames() {
 		for _, agg := range []tsdb.Agg{tsdb.AggSum, tsdb.AggCount, tsdb.AggMin, tsdb.AggMax, tsdb.AggLast} {
 			want := wantDB.QueryRange(metric, nil, 0, math.MaxFloat64, 60, agg)

@@ -30,8 +30,10 @@ type View interface {
 	Stats() Stats
 	// MaxTS is the newest record timestamp seen — "now" in record time.
 	MaxTS() float64
-	// DB exposes the backing time-series store for range queries.
-	DB() *tsdb.DB
+	// DB exposes the read side of the backing time-series store for
+	// range queries. It is an interface, not *tsdb.DB, so a federated
+	// View can answer by fanning queries out to member stores.
+	DB() tsdb.Querier
 	// Metrics exposes the self-observability registry.
 	Metrics() *metrics.Registry
 }

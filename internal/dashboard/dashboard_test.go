@@ -191,9 +191,9 @@ func TestChartEndpointValidSVG(t *testing.T) {
 
 func TestChartMultiSeriesAndSinglePoint(t *testing.T) {
 	c := collector.New(tsdb.New(), collector.DefaultConfig())
-	c.DB().Append("m", tsdb.Labels{"node": "a"}, 1, 5)
-	c.DB().Append("m", tsdb.Labels{"node": "a"}, 2, 7)
-	c.DB().Append("m", tsdb.Labels{"node": "b"}, 1, 3)
+	c.TSDB().Append("m", tsdb.Labels{"node": "a"}, 1, 5)
+	c.TSDB().Append("m", tsdb.Labels{"node": "a"}, 2, 7)
+	c.TSDB().Append("m", tsdb.Labels{"node": "b"}, 1, 3)
 	srv := httptest.NewServer(New(c, nil, Config{}).Handler())
 	defer srv.Close()
 	code, body := fetch(t, srv.URL+"/chart/m.svg")

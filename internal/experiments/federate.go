@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+
+	"lorameshmon/internal/collector"
+	"lorameshmon/internal/federate"
+	"lorameshmon/internal/loadgen"
+	"lorameshmon/internal/metrics"
+	"lorameshmon/internal/tsdb"
+	"lorameshmon/internal/uplink"
+)
+
+// T9Federation repeats the T6 offered-load sweep against federations of
+// 1, 2 and 4 collectors behind the ingest router, all over real HTTP.
+// The question is whether partitioning the node space moves the
+// saturation knee: if ingest cost dominates, N collectors should push
+// the knee towards N times the single-member ceiling; if the router (or
+// this machine's core budget) dominates, the knee stays put and says
+// so. Every batch crosses two HTTP hops (agent -> router -> member), so
+// the single-member federation also prices the router tier itself
+// against T6's direct-to-collector numbers.
+func T9Federation() Table {
+	t := Table{
+		ID:      "T9",
+		Title:   "Federated ingest saturation vs collector count (router + members over real HTTP, this machine)",
+		Columns: []string{"collectors", "offered (batch/s)", "achieved (batch/s)", "achieved/offered", "p99 forward"},
+	}
+	const perBatch = 32
+	const perLevel = 400
+
+	knees := make(map[int]float64)
+	ceilings := make(map[int]float64)
+	for _, n := range []int{1, 2, 4} {
+		ceiling := runFederatedLevel(n, 0, perLevel, perBatch)
+		if ceiling.achieved <= 0 {
+			t.Note("calibration with %d collectors achieved no throughput; level skipped", n)
+			continue
+		}
+		ceilings[n] = ceiling.achieved
+		for _, frac := range []float64{0.5, 1.0, 1.25} {
+			offered := frac * ceiling.achieved
+			r := runFederatedLevel(n, offered, perLevel, perBatch)
+			ratio := r.achieved / offered
+			t.AddRow(fmt.Sprint(n), f1(offered), f1(r.achieved), pct(ratio), fmtLatency(r.p99))
+			if knees[n] == 0 && ratio < 0.9 {
+				knees[n] = offered
+			}
+		}
+	}
+	for _, n := range []int{1, 2, 4} {
+		if ceilings[n] == 0 {
+			continue
+		}
+		if knees[n] > 0 {
+			t.Note("%d collector(s): unpaced ceiling %.0f batch/s, knee near %.0f offered batch/s", n, ceilings[n], knees[n])
+		} else {
+			t.Note("%d collector(s): unpaced ceiling %.0f batch/s, no knee within the sweep", n, ceilings[n])
+		}
+	}
+	t.Note("p99 forward from the router's meshmon_federate_member_send_seconds histogram (one HTTP hop, router to member)")
+	t.Note("router and every member share this machine; GOMAXPROCS=%d bounds how far the knee can move", runtime.GOMAXPROCS(0))
+	return t
+}
+
+// runFederatedLevel drives one offered-load level through the router
+// into n fresh member collectors, everything over real HTTP, and reads
+// the forward-latency p99 back out of the router's registry.
+func runFederatedLevel(n int, offered float64, batches, perBatch int) levelResult {
+	members := make([]federate.Member, 0, n)
+	for i := 0; i < n; i++ {
+		c := collector.New(tsdb.New(), collector.Config{
+			Shards: runtime.GOMAXPROCS(0),
+		})
+		srv := httptest.NewServer(c.APIHandler())
+		defer srv.Close()
+		members = append(members, federate.Member{
+			Name: fmt.Sprintf("m%d", i+1),
+			URL:  srv.URL + "/api/v1/ingest",
+		})
+	}
+	reg := metrics.NewRegistry()
+	router, err := federate.NewRouter(federate.RouterConfig{Members: members, Metrics: reg})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: T9: %v", err))
+	}
+	front := httptest.NewServer(router.Handler())
+	defer front.Close()
+	up := uplink.NewHTTP(front.URL + "/api/v1/ingest")
+
+	res := loadgen.Run(loadgen.Config{
+		Nodes:   8 * n, // keep per-member node counts comparable across levels
+		Records: perBatch,
+		Workers: 8,
+		Batches: batches,
+		Rate:    offered,
+		OnError: func(i uint64, err error) {
+			panic(fmt.Sprintf("experiments: T9 batch %d: %v", i, err))
+		},
+	}, up.SendSync)
+
+	out := levelResult{achieved: res.BatchesPerSec()}
+	if fam, ok := reg.Family("meshmon_federate_member_send_seconds"); ok {
+		// Fold every member's histogram into one p99 by merging counts.
+		var merged *metrics.HistogramSnapshot
+		for _, s := range fam.Samples {
+			if s.Hist == nil {
+				continue
+			}
+			if merged == nil {
+				cp := *s.Hist
+				cp.Counts = append([]uint64(nil), s.Hist.Counts...)
+				merged = &cp
+				continue
+			}
+			for i := range merged.Counts {
+				merged.Counts[i] += s.Hist.Counts[i]
+			}
+			merged.Count += s.Hist.Count
+			merged.Sum += s.Hist.Sum
+		}
+		if merged != nil && merged.Count > 0 {
+			out.p99 = merged.Quantile(0.99)
+		}
+	}
+	return out
+}

@@ -39,6 +39,7 @@ func All() []Experiment {
 		{"T6", "ingest-saturation", T6IngestSaturation},
 		{"T7", "crash-recovery", T7CrashRecovery},
 		{"T8", "parallel-ingest", T8ParallelIngest},
+		{"T9", "federation", T9Federation},
 		{"A1", "ablation-batching", AblationBatching},
 		{"A2", "ablation-drop-policy", AblationDropPolicy},
 		{"A3", "ablation-capture", AblationCapture},

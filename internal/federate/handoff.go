@@ -1,0 +1,81 @@
+package federate
+
+import (
+	"fmt"
+
+	"lorameshmon/internal/collector"
+	"lorameshmon/internal/tsdb"
+	"lorameshmon/internal/wal"
+	"lorameshmon/internal/wire"
+)
+
+// HandoffResult reports what a membership-change handoff did.
+type HandoffResult struct {
+	// Legacy is a fresh read-only collector holding the departing
+	// member's snapshot history, nil when the member had no snapshot.
+	// Add it to the federated View (after the live owners) so history
+	// from before the membership change stays queryable.
+	Legacy *collector.Collector
+	// Replay summarises the WAL tail replay into the new owners.
+	Replay wal.ReplayStats
+	// Redistributed counts tail batches delivered per new owner.
+	Redistributed map[string]int
+}
+
+// Handoff moves a departing member's data to the federation that
+// remains, using only the member's durability artifacts — the same
+// snapshot + WAL a crash recovery would use, so departure needs no
+// cooperation from the (possibly dead) member process.
+//
+// The transfer is a time-split, which keeps member datasets disjoint —
+// the invariant the federated View's merge relies on:
+//
+//   - History up to the member's last checkpoint is restored from the
+//     snapshot into a fresh "legacy" collector, returned for the caller
+//     to mount read-only behind the federated View. Snapshot state is
+//     an already-deduplicated materialisation; it cannot be replayed as
+//     batches (the WAL pruned those segments at checkpoint), so it is
+//     served in place instead of re-ingested.
+//
+//   - Everything after the checkpoint — the WAL tail — still exists as
+//     wire batches, so it replays through route's owner via the normal
+//     Ingest path. The dedup state machine absorbs re-deliveries, so an
+//     interrupted handoff can simply run again; batches the new owner
+//     already heard (an agent retransmitting across the membership
+//     change) count as duplicates, not double ingests.
+//
+// route maps a node ID to the store that owns it after the change —
+// typically newRing.Owner composed with a member lookup.
+func Handoff(log *wal.Log, route func(wire.NodeID) (string, collector.Store), legacyCfg collector.Config) (HandoffResult, error) {
+	res := HandoffResult{Redistributed: make(map[string]int)}
+	if rc, ok, err := log.Snapshot(); err != nil {
+		return res, fmt.Errorf("federate: handoff: %w", err)
+	} else if ok {
+		legacy := collector.New(tsdb.New(), legacyCfg)
+		err := legacy.RestoreSnapshot(rc)
+		rc.Close()
+		if err != nil {
+			return res, fmt.Errorf("federate: handoff: %w", err)
+		}
+		res.Legacy = legacy
+	}
+	stats, err := log.Replay(func(b wire.Batch) error {
+		if err := b.Validate(); err != nil {
+			return fmt.Errorf("federate: handoff: %w", err)
+		}
+		name, dest := route(b.Node)
+		if dest == nil {
+			return fmt.Errorf("federate: handoff: no destination for node %d", b.Node)
+		}
+		if err := dest.Ingest(b); err != nil {
+			return err
+		}
+		res.Redistributed[name]++
+		return nil
+	})
+	res.Replay = stats
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}

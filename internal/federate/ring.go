@@ -1,0 +1,182 @@
+// Package federate scales the monitoring server out instead of up: N
+// collector processes each own a consistent-hash partition of the
+// node-ID space, a router tier forwards agent batches to the owning
+// collector over the existing HTTP uplink wire format, and a federated
+// View fans reads out to the members and merges them, so the dashboard,
+// the alert engine and the analysis library run unchanged on top of a
+// fleet exactly as they do on one process.
+//
+// The layering mirrors PR 4's View/Store seam: Router is the federated
+// Store (ingest side), View is the federated View (read side), and Ring
+// is the partition function both share. Handoff moves a departing
+// member's partitions to their new owners by replaying the member's
+// durability artifacts (snapshot + WAL) through the normal dedup path,
+// so the transfer is idempotent and survives being interrupted.
+package federate
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"lorameshmon/internal/wire"
+)
+
+// DefaultVirtualNodes is the ring's default replication of each member
+// onto the hash circle. 128 points per member keeps the partition
+// imbalance across a handful of members in the few-percent range while
+// the whole ring still fits in one cache line-friendly sorted slice.
+const DefaultVirtualNodes = 128
+
+// Ring is a consistent-hash partition of the node-ID space across
+// named members. Each member is projected onto the hash circle at
+// VirtualNodes points; a node ID is owned by the member whose point
+// follows the node's hash clockwise. Adding or removing one member
+// therefore moves only the partitions adjacent to its points — about
+// 1/N of the space — instead of reshuffling everything, which is what
+// keeps membership changes (and their handoff replays) cheap.
+//
+// The ring is immutable after construction: membership changes build a
+// new Ring (see With/Without), so concurrent readers never need a lock.
+type Ring struct {
+	vnodes  int
+	members []string // sorted, unique
+	points  []ringPoint
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds a ring over the members with vnodes virtual nodes per
+// member (<= 0 takes DefaultVirtualNodes). Member names are the
+// federation's stable identities — typically the member's ingest URL or
+// a configured name — and must be unique.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("federate: ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("federate: duplicate ring member %q", sorted[i])
+		}
+	}
+	r := &Ring{
+		vnodes:  vnodes,
+		members: sorted,
+		points:  make([]ringPoint, 0, len(sorted)*vnodes),
+	}
+	for _, m := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hashString(fmt.Sprintf("%s#%d", m, v)), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A 64-bit collision between vnode labels is vanishingly rare;
+		// break it by name so the ring stays deterministic regardless.
+		return r.points[i].member < r.points[j].member
+	})
+	return r, nil
+}
+
+// hashString is FNV-1a 64 pushed through a finalizer — stdlib-only and
+// stable across processes and Go versions (unlike maphash), which
+// matters because every router and every member must agree on
+// ownership. Raw FNV-1a is unusable on a ring: the last input byte gets
+// a single multiply, so "m1#0".."m1#127" land adjacent on the circle
+// and one member ends up owning almost everything. mix64 avalanches
+// the low-byte differences across all 64 bits.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck // never fails
+	return mix64(h.Sum64())
+}
+
+// hashNode places a node ID on the circle, through the same
+// FNV+finalizer as the vnode labels so sequential IDs (the common
+// deployment) spread uniformly instead of clustering.
+func hashNode(id wire.NodeID) uint64 {
+	var buf [2]byte
+	buf[0], buf[1] = byte(id>>8), byte(id)
+	h := fnv.New64a()
+	h.Write(buf[:]) //nolint:errcheck // never fails
+	return mix64(h.Sum64())
+}
+
+// mix64 is the murmur3 64-bit finalizer: a fixed, dependency-free
+// bijection with full avalanche — flipping any input bit flips each
+// output bit with probability ~1/2.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Owner returns the member that owns the node's partition.
+func (r *Ring) Owner(id wire.NodeID) string {
+	h := hashNode(id)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the first point clockwise from the top
+	}
+	return r.points[i].member
+}
+
+// Members returns the ring's members, sorted.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// VirtualNodes returns the per-member replication factor.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
+// Without returns a new ring with the member removed — the departing
+// side of a membership change. The returned ring shares no state with
+// the receiver.
+func (r *Ring) Without(member string) (*Ring, error) {
+	var rest []string
+	for _, m := range r.members {
+		if m != member {
+			rest = append(rest, m)
+		}
+	}
+	if len(rest) == len(r.members) {
+		return nil, fmt.Errorf("federate: %q is not a ring member", member)
+	}
+	return NewRing(rest, r.vnodes)
+}
+
+// With returns a new ring with the member added — the joining side of a
+// membership change.
+func (r *Ring) With(member string) (*Ring, error) {
+	return NewRing(append(r.Members(), member), r.vnodes)
+}
+
+// Moved reports the node IDs in [0, maxID] whose owner differs between
+// the two rings — the partitions a membership change reassigns, and
+// therefore exactly what Handoff must replay. The node-ID space is
+// 16-bit, so a full scan is 65k hash lookups — microseconds, done once
+// per membership change.
+func Moved(old, new *Ring, maxID wire.NodeID) []wire.NodeID {
+	var out []wire.NodeID
+	for id := wire.NodeID(1); ; id++ {
+		if old.Owner(id) != new.Owner(id) {
+			out = append(out, id)
+		}
+		if id == maxID {
+			return out
+		}
+	}
+}

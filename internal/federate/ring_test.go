@@ -1,0 +1,126 @@
+package federate
+
+import (
+	"reflect"
+	"testing"
+
+	"lorameshmon/internal/wire"
+)
+
+const scanMax = wire.NodeID(4096)
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	r, err := NewRing([]string{"a", "b"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Without("c"); err == nil {
+		t.Fatal("Without(non-member) accepted")
+	}
+	if _, err := r.With("a"); err == nil {
+		t.Fatal("With(existing member) accepted")
+	}
+}
+
+// Ownership must be a pure function of (membership, vnodes): two rings
+// built independently — as every router and member process does — must
+// agree on every node, or batches would route to non-owners.
+func TestRingOwnerDeterministicAcrossInstances(t *testing.T) {
+	members := []string{"collector-b", "collector-a", "collector-c"}
+	r1, err := NewRing(members, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]string{"collector-c", "collector-a", "collector-b"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := wire.NodeID(1); id <= scanMax; id++ {
+		if r1.Owner(id) != r2.Owner(id) {
+			t.Fatalf("node %d: owners disagree: %q vs %q", id, r1.Owner(id), r2.Owner(id))
+		}
+	}
+	if !reflect.DeepEqual(r1.Members(), []string{"collector-a", "collector-b", "collector-c"}) {
+		t.Fatalf("members = %v", r1.Members())
+	}
+}
+
+// With the default vnode count, no member of a 4-way ring should own a
+// wildly skewed share of sequential node IDs (the common deployment).
+func TestRingDistributionRoughlyUniform(t *testing.T) {
+	members := []string{"m1", "m2", "m3", "m4"}
+	r, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	for id := wire.NodeID(1); id <= scanMax; id++ {
+		owner := r.Owner(id)
+		if _, known := map[string]bool{"m1": true, "m2": true, "m3": true, "m4": true}[owner]; !known {
+			t.Fatalf("node %d owned by unknown member %q", id, owner)
+		}
+		counts[owner]++
+	}
+	want := int(scanMax) / len(members)
+	for m, n := range counts {
+		if n < want/2 || n > want*2 {
+			t.Fatalf("member %s owns %d of %d nodes (expected near %d): %v",
+				m, n, scanMax, want, counts)
+		}
+	}
+}
+
+// Removing one member must move exactly the partitions it owned —
+// every other node keeps its owner. This is the property that keeps
+// membership-change handoffs proportional to 1/N instead of total.
+func TestRingRemovalMovesOnlyDepartedPartitions(t *testing.T) {
+	r4, err := NewRing([]string{"m1", "m2", "m3", "m4"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := r4.Without("m3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := Moved(r4, r3, scanMax)
+	movedSet := make(map[wire.NodeID]bool, len(moved))
+	for _, id := range moved {
+		movedSet[id] = true
+	}
+	for id := wire.NodeID(1); id <= scanMax; id++ {
+		ownedByDeparted := r4.Owner(id) == "m3"
+		if ownedByDeparted != movedSet[id] {
+			t.Fatalf("node %d: owned-by-departed=%v but moved=%v",
+				id, ownedByDeparted, movedSet[id])
+		}
+		if r3.Owner(id) == "m3" {
+			t.Fatalf("node %d still owned by removed member", id)
+		}
+	}
+	if len(moved) == 0 {
+		t.Fatal("removal moved nothing; m3 owned no partitions?")
+	}
+}
+
+// Adding a member must only move partitions onto the newcomer.
+func TestRingJoinMovesOnlyOntoNewMember(t *testing.T) {
+	r2, err := NewRing([]string{"m1", "m2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := r2.With("m3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range Moved(r2, r3, scanMax) {
+		if got := r3.Owner(id); got != "m3" {
+			t.Fatalf("node %d moved to %q, not the joining member", id, got)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 type result struct {
@@ -62,12 +63,22 @@ func main() {
 
 	fmt.Printf("%-4s %-22s %14s %14s %12s %12s %14s %12s  %s\n",
 		"id", "name", "ns/op", "Δns", "allocs/op", "Δallocs", "bytes/op", "Δbytes", "verdict")
+	// The same rows again as GitHub-flavoured markdown: appended to the
+	// workflow run's step summary when $GITHUB_STEP_SUMMARY is set, so
+	// the per-experiment deltas are readable on the run page without
+	// digging through the raw log.
+	var md strings.Builder
+	md.WriteString("### Perf gate: per-experiment deltas vs " + *baselinePath + "\n\n")
+	md.WriteString("| id | name | ns/op | Δns | allocs/op | Δallocs | bytes/op | Δbytes | verdict |\n")
+	md.WriteString("|---|---|---:|---:|---:|---:|---:|---:|---|\n")
 	var failures []string
 	for _, now := range fresh.Results {
 		was, ok := base[now.ID]
 		if !ok {
 			fmt.Printf("%-4s %-22s %14d %14s %12d %12s %14d %12s  new (no baseline)\n",
 				now.ID, now.Name, now.NsPerOp, "-", now.AllocsPerOp, "-", now.BytesPerOp, "-")
+			fmt.Fprintf(&md, "| %s | %s | %d | - | %d | - | %d | - | new (no baseline) |\n",
+				now.ID, now.Name, now.NsPerOp, now.AllocsPerOp, now.BytesPerOp)
 			continue
 		}
 		nsRatio := ratio(float64(now.NsPerOp), float64(was.NsPerOp))
@@ -96,6 +107,13 @@ func main() {
 		fmt.Printf("%-4s %-22s %14d %14s %12d %12s %14d %12s  %s\n",
 			now.ID, now.Name, now.NsPerOp, delta(nsRatio), now.AllocsPerOp, delta(alRatio),
 			now.BytesPerOp, delta(byRatio), verdict)
+		mdVerdict := verdict
+		if mdVerdict != "ok" {
+			mdVerdict = "**" + mdVerdict + "**"
+		}
+		fmt.Fprintf(&md, "| %s | %s | %d | %s | %d | %s | %d | %s | %s |\n",
+			now.ID, now.Name, now.NsPerOp, delta(nsRatio), now.AllocsPerOp, delta(alRatio),
+			now.BytesPerOp, delta(byRatio), mdVerdict)
 	}
 
 	// Experiments that vanished from the fresh report usually mean a
@@ -113,7 +131,15 @@ func main() {
 	sort.Strings(gone)
 	for _, id := range gone {
 		fmt.Printf("%-4s %-22s missing from fresh report (renamed or removed?)\n", id, base[id].Name)
+		fmt.Fprintf(&md, "| %s | %s | | | | | | | missing from fresh report |\n", id, base[id].Name)
 	}
+
+	if len(failures) > 0 {
+		fmt.Fprintf(&md, "\n**perf gate FAILED** (%d regression(s) beyond %.2fx)\n", len(failures), *maxGrowth)
+	} else {
+		fmt.Fprintf(&md, "\nperf gate OK (%d experiments within %.2fx of baseline)\n", len(fresh.Results), *maxGrowth)
+	}
+	appendStepSummary(md.String())
 
 	if len(failures) > 0 {
 		fmt.Println("\nperf gate FAILED:")
@@ -123,6 +149,25 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("\nperf gate OK (%d experiments within %.2fx of baseline)\n", len(fresh.Results), *maxGrowth)
+}
+
+// appendStepSummary appends markdown to the file GitHub Actions points
+// $GITHUB_STEP_SUMMARY at; outside Actions (or on write failure) it is
+// a silent no-op — the gate's verdict never depends on it.
+func appendStepSummary(markdown string) {
+	path := os.Getenv("GITHUB_STEP_SUMMARY")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_compare: step summary:", err)
+		return
+	}
+	defer f.Close()
+	if _, err := f.WriteString(markdown + "\n"); err != nil {
+		fmt.Fprintln(os.Stderr, "bench_compare: step summary:", err)
+	}
 }
 
 func load(path string) (report, error) {

@@ -6,6 +6,8 @@
 #   scripts/ci.sh build     # full build
 #   scripts/ci.sh test      # race-enabled tests
 #   scripts/ci.sh recover   # crash-safety suite (WAL, dedup, recovery) under -race
+#   scripts/ci.sh federate  # federation suite (ring, router, view, handoff) under -race
+#   scripts/ci.sh fuzz      # bounded fuzzing of the chunk codec round-trip
 #   scripts/ci.sh bench     # perf harness -> BENCH_NEW.json
 #   scripts/ci.sh compare   # perf gate vs committed BENCH_1.json
 #   scripts/ci.sh all       # everything, in order (the default)
@@ -50,6 +52,26 @@ stage_recover() {
     ./internal/wal ./internal/collector ./internal/tsdb
 }
 
+stage_federate() {
+  echo "== federation suite =="
+  # The federation tests run again, separately and by name, mirroring
+  # the recover stage: consistent-hash ownership, router forwarding and
+  # failure paths, federated read merging and membership handoff. The
+  # router fans HTTP requests out from multiple goroutines, so -race is
+  # load-bearing here, not ceremony.
+  go test -race -count=1 -run 'Federate|Ring|Router|Handoff' \
+    ./internal/federate
+}
+
+stage_fuzz() {
+  echo "== bounded fuzz: chunk codec round-trip =="
+  # 20 seconds of coverage-guided input generation on the compression
+  # codec every CI run: cheap enough to always pay, and new corpus
+  # finds land in testdata/ when reproduced locally.
+  go test -fuzz='^FuzzChunkRoundTrip$' -fuzztime=20s -run '^FuzzChunkRoundTrip$' \
+    ./internal/tsdb
+}
+
 stage_bench() {
   echo "== bench harness =="
   # Best-of-5 timing: wall-clock on shared runners wobbles ~25%
@@ -66,23 +88,27 @@ stage_compare() {
 }
 
 case "${1:-all}" in
-  vet)     stage_vet ;;
-  build)   stage_build ;;
-  test)    stage_test ;;
-  recover) stage_recover ;;
-  bench)   stage_bench ;;
-  compare) stage_compare ;;
+  vet)      stage_vet ;;
+  build)    stage_build ;;
+  test)     stage_test ;;
+  recover)  stage_recover ;;
+  federate) stage_federate ;;
+  fuzz)     stage_fuzz ;;
+  bench)    stage_bench ;;
+  compare)  stage_compare ;;
   all)
     stage_vet
     stage_build
     stage_test
     stage_recover
+    stage_federate
+    stage_fuzz
     stage_bench
     stage_compare
     echo "CI OK"
     ;;
   *)
-    echo "usage: scripts/ci.sh [vet|build|test|bench|compare|all]" >&2
+    echo "usage: scripts/ci.sh [vet|build|test|recover|federate|fuzz|bench|compare|all]" >&2
     exit 2
     ;;
 esac
