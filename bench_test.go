@@ -68,6 +68,8 @@ func BenchmarkT8ParallelIngest(b *testing.B) { benchTable(b, experiments.T8Paral
 
 func BenchmarkF12LargeTransfers(b *testing.B) { benchTable(b, experiments.F12LargeTransfers) }
 
+func BenchmarkS1Scale(b *testing.B) { benchTable(b, experiments.S1Scale) }
+
 // BenchmarkIngestParallel drives the collector's sharded ingest path
 // directly with b.RunParallel: each worker goroutine claims a distinct
 // node ID, so batches hash onto distinct shards and the measured

@@ -129,8 +129,27 @@ func DeliveryProbability(marginDB float64) float64 {
 // the demodulation floor — the nominal communication range for the
 // settings. It inverts the log-distance model analytically.
 func (c ChannelModel) MaxRangeM(p Params) float64 {
-	budget := p.TxPowerDBm + c.AntennaGainDBi - c.SensitivityDBm(p)
-	exp := (budget - c.ReferenceLossDB) / (10 * c.PathLossExponent)
+	return c.RangeAtMarginDB(p, 0)
+}
+
+// RangeAtMarginDB returns the distance at which the mean link margin
+// equals marginDB. Negative margins extend the range past MaxRangeM —
+// the radio medium uses this to size spatial-index cells so that even
+// receivers whose mean link sits well below the floor (but that
+// shadowing/fading could still rescue) are inside the candidate radius.
+func (c ChannelModel) RangeAtMarginDB(p Params, marginDB float64) float64 {
+	budget := p.TxPowerDBm + c.AntennaGainDBi - c.SensitivityDBm(p) - marginDB
+	return c.DistanceAtPathLossDB(budget)
+}
+
+// DistanceAtPathLossDB inverts the log-distance model: the distance at
+// which the mean path loss equals plDB. Losses at or below the
+// reference loss map to the reference distance (the model clamps there).
+func (c ChannelModel) DistanceAtPathLossDB(plDB float64) float64 {
+	if plDB <= c.ReferenceLossDB {
+		return c.ReferenceDistanceM
+	}
+	exp := (plDB - c.ReferenceLossDB) / (10 * c.PathLossExponent)
 	return c.ReferenceDistanceM * math.Pow(10, exp)
 }
 

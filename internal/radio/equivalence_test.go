@@ -1,0 +1,277 @@
+package radio
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"lorameshmon/internal/phy"
+	"lorameshmon/internal/simkit"
+)
+
+// rxEvent is one observed reception, comparable across runs.
+type rxEvent struct {
+	From ID
+	At   simkit.Time
+	RSSI float64
+	SNR  float64
+}
+
+// runOutcome captures everything observable about one medium run.
+type runOutcome struct {
+	stats    Stats
+	errs     []string    // Transmit results in schedule order ("" = ok)
+	rx       [][]rxEvent // per radio, in delivery order
+	counters []Counters
+	busy     []bool // BusyAt samples, radio-major per sample time
+}
+
+// txOp and moveOp are the pre-drawn workload, identical for both runs.
+type txOp struct {
+	at    simkit.Time
+	radio ID
+	bytes int
+}
+
+type moveOp struct {
+	at    simkit.Time
+	radio ID
+	to    phy.Point
+}
+
+// runMedium replays the same workload on a fresh sim+medium and records
+// the outcome.
+func runMedium(t *testing.T, seed int64, cfg Config, pos []phy.Point, sfs []phy.SpreadingFactor,
+	txs []txOp, moves []moveOp, sampleEvery time.Duration, until time.Duration) runOutcome {
+	t.Helper()
+	sim := simkit.New(seed)
+	m := NewMedium(sim, cfg)
+	out := runOutcome{rx: make([][]rxEvent, len(pos))}
+	for i := range pos {
+		p := phy.DefaultParams()
+		p.SF = sfs[i]
+		r, err := m.AttachRadio(ID(i+1), pos[i], p, phy.Unregulated())
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := i
+		r.SetHandler(func(_ Frame, info RxInfo) {
+			out.rx[i] = append(out.rx[i], rxEvent{info.From, info.At, info.RSSIdBm, info.SNRdB})
+		})
+	}
+	for _, op := range txs {
+		op := op
+		sim.At(op.at, func() {
+			_, err := m.Radio(op.radio).Transmit(Frame{Bytes: op.bytes})
+			if err != nil {
+				out.errs = append(out.errs, err.Error())
+			} else {
+				out.errs = append(out.errs, "")
+			}
+		})
+	}
+	for _, op := range moves {
+		op := op
+		sim.At(op.at, func() { m.Radio(op.radio).SetPosition(op.to) })
+	}
+	for at := simkit.Time(sampleEvery); at < simkit.Time(until); at += simkit.Time(sampleEvery) {
+		at := at
+		sim.At(at, func() {
+			for _, r := range m.Radios() {
+				out.busy = append(out.busy, m.BusyAt(r))
+			}
+		})
+	}
+	sim.RunUntil(simkit.Time(until))
+	out.stats = m.Stats()
+	for _, r := range m.Radios() {
+		out.counters = append(out.counters, r.Counters())
+	}
+	return out
+}
+
+// TestGridEquivalentToAllPairs is the property test behind the spatial
+// index: on random topologies with shadowing, fading, the logistic
+// waterfall, capture, overlapping frames, mixed SFs and mid-run
+// SetPosition moves, the grid-indexed medium must produce exactly the
+// deliveries, collisions, half-duplex misses and carrier-sense verdicts
+// of the brute-force all-pairs reference. The only permitted difference
+// is that the reference also evaluates (and rejects) receivers beyond
+// the cutoff radius — accounted one-for-one in BelowSensitivity.
+func TestGridEquivalentToAllPairs(t *testing.T) {
+	cases := []struct {
+		seed    int64
+		mixedSF bool
+	}{{1, false}, {7, false}, {42, true}}
+	for _, tc := range cases {
+		seed, mixedSF := tc.seed, tc.mixedSF
+		t.Run(fmt.Sprintf("seed%d_mixedSF%v", seed, mixedSF), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			cfg := DefaultConfig()
+			cfg.Channel.ShadowingSigmaDB = 3 // keeps the candidate radius well under the area
+			cfg.FadingSigmaDB = 2
+
+			const (
+				n     = 60
+				areaM = 60_000.0
+				until = 40 * time.Second
+			)
+			pos := make([]phy.Point, n)
+			sfs := make([]phy.SpreadingFactor, n)
+			for i := range pos {
+				pos[i] = phy.Point{X: rng.Float64() * areaM, Y: rng.Float64() * areaM}
+				sfs[i] = phy.SF7
+				if mixedSF && i%9 == 0 {
+					sfs[i] = phy.SF8 // exercise the decode filter
+				}
+			}
+			var txs []txOp
+			for i := 0; i < 300; i++ {
+				// Quantized start slots so frames frequently overlap.
+				txs = append(txs, txOp{
+					at:    simkit.Time(rng.Intn(150)) * simkit.Time(200*time.Millisecond),
+					radio: ID(rng.Intn(n) + 1),
+					bytes: 10 + rng.Intn(40),
+				})
+			}
+			var moves []moveOp
+			for i := 0; i < 60; i++ {
+				moves = append(moves, moveOp{
+					at:    simkit.Time(rng.Intn(300)) * simkit.Time(100*time.Millisecond),
+					radio: ID(rng.Intn(n) + 1),
+					to:    phy.Point{X: rng.Float64() * areaM, Y: rng.Float64() * areaM},
+				})
+			}
+
+			brute := cfg
+			brute.DisableSpatialIndex = true
+			got := runMedium(t, seed, cfg, pos, sfs, txs, moves, time.Second, until)
+			want := runMedium(t, seed, brute, pos, sfs, txs, moves, time.Second, until)
+
+			if got.stats.TxFrames != want.stats.TxFrames ||
+				got.stats.Delivered != want.stats.Delivered ||
+				got.stats.Collided != want.stats.Collided ||
+				got.stats.HalfDuplexMiss != want.stats.HalfDuplexMiss {
+				t.Fatalf("outcome stats diverge:\ngrid  %+v\nbrute %+v", got.stats, want.stats)
+			}
+			if got.stats.DeliveryAttempts >= want.stats.DeliveryAttempts {
+				t.Fatalf("grid did not reduce delivery attempts: %d vs %d",
+					got.stats.DeliveryAttempts, want.stats.DeliveryAttempts)
+			}
+			// Every receiver the grid skipped must have been a hard
+			// below-cutoff rejection in the reference, nothing else.
+			// With mixed SFs some skipped receivers return at the decode
+			// filter instead of reaching the cutoff, so the relation
+			// weakens to an upper bound there.
+			skipped := want.stats.DeliveryAttempts - got.stats.DeliveryAttempts
+			belowDiff := want.stats.BelowSensitivity - got.stats.BelowSensitivity
+			if mixedSF && belowDiff > skipped {
+				t.Fatalf("BelowSensitivity diff %d exceeds skipped receivers %d", belowDiff, skipped)
+			}
+			if !mixedSF && belowDiff != skipped {
+				t.Fatalf("skipped receivers not all below cutoff: skipped %d, BelowSensitivity %d vs %d",
+					skipped, want.stats.BelowSensitivity, got.stats.BelowSensitivity)
+			}
+			if !reflect.DeepEqual(got.errs, want.errs) {
+				t.Fatal("Transmit error sequences diverge")
+			}
+			if !reflect.DeepEqual(got.busy, want.busy) {
+				t.Fatal("BusyAt carrier-sense samples diverge")
+			}
+			for i := range got.rx {
+				if !reflect.DeepEqual(got.rx[i], want.rx[i]) {
+					t.Fatalf("radio %d reception log diverges:\ngrid  %v\nbrute %v",
+						i+1, got.rx[i], want.rx[i])
+				}
+			}
+			for i := range got.counters {
+				g, w := got.counters[i], want.counters[i]
+				if g.Rx != w.Rx || g.MissCollision != w.MissCollision || g.MissHalfDuplex != w.MissHalfDuplex {
+					t.Fatalf("radio %d counters diverge: grid %+v brute %+v", i+1, g, w)
+				}
+			}
+		})
+	}
+}
+
+// TestGridReindexOnMove pins SetPosition reindexing directly: a receiver
+// that starts beyond the cutoff radius hears nothing, moves into range,
+// and then receives — without the index ever consulting a stale cell.
+func TestGridReindexOnMove(t *testing.T) {
+	sim := simkit.New(1)
+	cfg := quietConfig()
+	far := cfg.Channel.MaxRangeM(phy.DefaultParams()) * 10
+	m, a, b := newPair(t, sim, cfg, far)
+	received := 0
+	b.SetHandler(func(Frame, RxInfo) { received++ })
+	if _, err := a.Transmit(Frame{Bytes: 10}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if received != 0 || m.Stats().DeliveryAttempts != 0 {
+		t.Fatalf("out-of-range receiver reached: received=%d stats=%+v", received, m.Stats())
+	}
+	b.SetPosition(phy.Point{X: 200})
+	if _, err := a.Transmit(Frame{Bytes: 10}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if received != 1 {
+		t.Fatalf("moved-in receiver received %d frames, want 1", received)
+	}
+	// And back out again: the reindex must also shrink the neighbourhood.
+	b.SetPosition(phy.Point{X: far})
+	if _, err := a.Transmit(Frame{Bytes: 10}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if received != 1 || m.Stats().DeliveryAttempts != 1 {
+		t.Fatalf("moved-out receiver still indexed: received=%d stats=%+v", received, m.Stats())
+	}
+}
+
+// TestGridReductionAt10k pins the scale acceptance criterion at the
+// medium layer: on a 10k-radio random-geometric topology at the scale
+// experiments' density, the index schedules at least 10x fewer delivery
+// decisions than the all-pairs baseline would.
+func TestGridReductionAt10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-radio topology")
+	}
+	sim := simkit.New(3)
+	cfg := DefaultConfig()
+	cfg.Channel.ShadowingSigmaDB = 0
+	cfg.DeterministicDelivery = true
+	m := NewMedium(sim, cfg)
+	const n = 10_000
+	areaM := 3000 * 31.6228 // matches experiments.areaForDensity(10k)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < n; i++ {
+		r, err := m.AttachRadio(ID(i+1), phy.Point{X: rng.Float64() * areaM, Y: rng.Float64() * areaM},
+			phy.DefaultParams(), phy.Unregulated())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.SetHandler(func(Frame, RxInfo) {})
+	}
+	for i := 0; i < 100; i++ {
+		id := ID(rng.Intn(n) + 1)
+		at := simkit.Time(i) * simkit.Time(time.Second)
+		sim.At(at, func() { m.Radio(id).Transmit(Frame{Bytes: 20}) }) //nolint:errcheck
+	}
+	sim.Run()
+	st := m.Stats()
+	if st.TxFrames == 0 {
+		t.Fatal("no frames sent")
+	}
+	allPairs := st.TxFrames * (n - 1)
+	if st.DeliveryAttempts*10 > allPairs {
+		t.Fatalf("reduction below 10x: %d delivery attempts vs %d all-pairs (%.1fx)",
+			st.DeliveryAttempts, allPairs, float64(allPairs)/float64(st.DeliveryAttempts))
+	}
+	if st.Delivered == 0 {
+		t.Fatal("nothing delivered — topology disconnected from the candidate radius?")
+	}
+}

@@ -1,12 +1,24 @@
 // Package radio simulates the shared LoRa broadcast medium: every
-// transmission propagates to every registered radio, and reception is
-// decided per receiver from the link budget, half-duplex state,
-// co-channel interference and the capture effect.
+// transmission propagates to the radios that could plausibly hear it,
+// and reception is decided per receiver from the link budget,
+// half-duplex state, co-channel interference and the capture effect.
 //
-// Shadowing is drawn once per node pair (slow fading, part of the
-// topology); an optional per-packet fading term models fast channel
-// variation. Everything is driven by a simkit.Sim, so runs are
-// deterministic for a given seed.
+// Shadowing is a static per-pair offset (slow fading, part of the
+// topology) derived from a hash of the medium seed and the unordered
+// pair; an optional per-packet fading term models fast channel
+// variation, derived per (transmission, receiver). Because all channel
+// randomness is hash-derived rather than drawn from the shared sim RNG,
+// outcomes are independent of query and scheduling order — which is
+// what lets the spatial index skip hopeless receivers without changing
+// what any reachable receiver observes.
+//
+// A uniform grid indexes radio positions so delivery decisions are
+// evaluated only for receivers within the sender's worst-case
+// demodulation range (path loss inverted at the configured cutoff
+// margin plus 3σ shadowing headroom). Receivers beyond that radius
+// would fail the same hard cutoff the in-range path applies, so the
+// indexed medium is outcome-identical to the all-pairs scan while doing
+// O(in-range neighbours) work per frame instead of O(N).
 package radio
 
 import (
@@ -61,14 +73,25 @@ type Handler func(frame Frame, info RxInfo)
 
 // Stats aggregates medium-wide outcomes.
 type Stats struct {
-	TxFrames         uint64
-	TxAirtime        time.Duration
+	TxFrames  uint64
+	TxAirtime time.Duration
+	// DeliveryAttempts counts reception decisions evaluated: candidate
+	// receivers per frame. With the spatial index this is the in-range
+	// neighbourhood, not N-1 — the scale experiments gate on this.
+	DeliveryAttempts uint64
 	Delivered        uint64
-	BelowSensitivity uint64 // receptions lost to insufficient SNR
+	BelowSensitivity uint64 // receptions lost to insufficient SNR or range
 	Collided         uint64 // receptions lost to co-channel interference
 	HalfDuplexMiss   uint64 // receptions lost because the receiver was transmitting
 	DutyCycleBlocked uint64
+	DwellBlocked     uint64 // transmissions refused by the regional dwell limit
 }
+
+// DefaultCutoffMarginDB is the hard delivery cutoff used when the
+// config leaves CutoffMarginDB unset: mean links more than 12 dB below
+// the demodulation floor are rejected outright (the logistic waterfall
+// puts their success odds below 1e-5 anyway).
+const DefaultCutoffMarginDB = 12
 
 // Config tunes the medium's propagation and interference model.
 type Config struct {
@@ -88,6 +111,17 @@ type Config struct {
 	// a hard threshold (margin > 0 succeeds). Useful for protocol tests
 	// and step-response experiments.
 	DeterministicDelivery bool
+	// CutoffMarginDB bounds the logistic waterfall's tail: a reception
+	// whose mean (pre-fading) margin sits more than this far below the
+	// demodulation floor is rejected deterministically. The cutoff is
+	// what gives every transmission a finite candidate radius for the
+	// spatial index. Zero or negative selects DefaultCutoffMarginDB.
+	CutoffMarginDB float64
+	// DisableSpatialIndex falls back to evaluating every registered
+	// radio for every frame — the all-pairs reference the equivalence
+	// tests compare the grid against. Outcomes are identical; only the
+	// amount of work differs.
+	DisableSpatialIndex bool
 }
 
 // DefaultConfig returns the standard campus channel with 6 dB capture.
@@ -98,6 +132,7 @@ func DefaultConfig() Config {
 		CaptureDB:         6,
 		CaptureEnabled:    true,
 		DetectionMarginDB: 6,
+		CutoffMarginDB:    DefaultCutoffMarginDB,
 	}
 }
 
@@ -106,34 +141,64 @@ type Medium struct {
 	sim    *simkit.Sim
 	cfg    Config
 	radios map[ID]*Radio
-	// order lists radios sorted by ID. Delivery events are scheduled in
-	// this order so simulations are deterministic (map iteration order
-	// would otherwise leak into event ordering and RNG consumption).
+	// order lists radios sorted by ID: the all-pairs fallback iterates
+	// it so simulations are deterministic (map iteration order would
+	// otherwise leak into event ordering).
 	order []*Radio
-	// shadow holds the static per-pair shadowing offset in dB, keyed by
-	// the unordered pair.
-	shadow map[[2]ID]float64
-	active []*transmission
-	stats  Stats
+	// grid indexes radio positions; unused when DisableSpatialIndex.
+	grid grid
+	// minNoiseFloorDBm tracks the most sensitive noise floor among
+	// attached radios; it sizes per-transmission detection ranges for
+	// the BusyAt prefilter.
+	minNoiseFloorDBm float64
+	// shadowSeed and deliverySeed are independent hash streams derived
+	// from the sim seed: per-pair shadowing and per-(transmission,
+	// receiver) fading/success draws.
+	shadowSeed   uint64
+	deliverySeed uint64
+	txSeq        uint64
+	active       []*transmission
+	pool         []*transmission
+	stats        Stats
 }
 
+// transmission is pooled: acquired on transmit, recycled once it has
+// left the active list and no other overlapping frame's interferer list
+// still references it (refs tracks those references).
 type transmission struct {
-	from        *Radio
-	params      phy.Params
-	frame       Frame
-	start, end  simkit.Time
-	interferers []*transmission
-	done        bool
+	seq            uint64
+	from           *Radio
+	params         phy.Params
+	frame          Frame
+	start, end     simkit.Time
+	detectRangeSqM float64
+	interferers    []*transmission
+	candidates     []*Radio
+	activeIdx      int
+	refs           int
+	done           bool
 }
+
+// maxPool caps the recycle pool; beyond it, finished transmissions are
+// left for the collector.
+const maxPool = 1024
 
 // NewMedium creates a medium on the given simulator.
 func NewMedium(sim *simkit.Sim, cfg Config) *Medium {
-	return &Medium{
-		sim:    sim,
-		cfg:    cfg,
-		radios: make(map[ID]*Radio),
-		shadow: make(map[[2]ID]float64),
+	if cfg.CutoffMarginDB <= 0 {
+		cfg.CutoffMarginDB = DefaultCutoffMarginDB
 	}
+	seed := mix64(uint64(sim.Seed()) + 0x9e3779b97f4a7c15)
+	m := &Medium{
+		sim:              sim,
+		cfg:              cfg,
+		radios:           make(map[ID]*Radio),
+		minNoiseFloorDBm: math.Inf(1),
+		shadowSeed:       mix64(seed ^ 0x736861646f77),   // "shadow"
+		deliverySeed:     mix64(seed ^ 0x64656c69766572), // "deliver"
+	}
+	m.grid.cells = make(map[cellKey][]*Radio)
+	return m
 }
 
 // Sim returns the simulator driving the medium.
@@ -141,6 +206,16 @@ func (m *Medium) Sim() *simkit.Sim { return m.sim }
 
 // Stats returns a snapshot of medium-wide counters.
 func (m *Medium) Stats() Stats { return m.stats }
+
+// candidateRangeM returns the delivery candidate radius for frames sent
+// with params p: the distance at which the mean link sits CutoffMarginDB
+// plus 3σ shadowing below the demodulation floor. Past it, even a pair
+// with the most favourable (clamped) shadowing draw fails the hard
+// cutoff, so skipping the receiver changes nothing.
+func (m *Medium) candidateRangeM(p phy.Params) float64 {
+	margin := -(m.cfg.CutoffMarginDB + shadowClampSigma*m.cfg.Channel.ShadowingSigmaDB)
+	return m.cfg.Channel.RangeAtMarginDB(p, margin) * rangeSlack
+}
 
 // AttachRadio registers a new radio at pos. IDs must be unique; Broadcast
 // is reserved.
@@ -155,17 +230,39 @@ func (m *Medium) AttachRadio(id ID, pos phy.Point, params phy.Params, region phy
 		return nil, err
 	}
 	r := &Radio{
-		id:      id,
-		pos:     pos,
-		params:  params,
-		medium:  m,
-		limiter: phy.NewDutyCycleLimiter(region),
+		id:         id,
+		pos:        pos,
+		params:     params,
+		medium:     m,
+		limiter:    phy.NewDutyCycleLimiter(region),
+		candidateM: m.candidateRangeM(params),
 	}
 	m.radios[id] = r
-	at := sort.Search(len(m.order), func(i int) bool { return m.order[i].id > id })
-	m.order = append(m.order, nil)
-	copy(m.order[at+1:], m.order[at:])
-	m.order[at] = r
+	if nf := m.cfg.Channel.NoiseFloorDBm(params.BW); nf < m.minNoiseFloorDBm {
+		m.minNoiseFloorDBm = nf
+	}
+	// Ascending-ID attachment (the common case: scenario builders number
+	// nodes 1..N) appends in O(1); out-of-order IDs take the sorted
+	// insert.
+	if n := len(m.order); n == 0 || m.order[n-1].id < id {
+		m.order = append(m.order, r)
+	} else {
+		at := sort.Search(n, func(i int) bool { return m.order[i].id > id })
+		m.order = append(m.order, nil)
+		copy(m.order[at+1:], m.order[at:])
+		m.order[at] = r
+	}
+	if !m.cfg.DisableSpatialIndex {
+		// Cells are sized to the largest candidate radius so a query
+		// never spans more than the 3x3 block around the sender; a new
+		// radio with longer reach (larger SF, more power) forces a
+		// re-bucketing of everything attached so far.
+		if r.candidateM > m.grid.cellM {
+			m.grid.rebuild(r.candidateM, m.order)
+		} else {
+			m.grid.insert(r)
+		}
+	}
 	return r, nil
 }
 
@@ -179,26 +276,27 @@ func (m *Medium) Radios() []*Radio {
 	return out
 }
 
-func pairKey(a, b ID) [2]ID {
+// shadowOffset returns the static shadowing term for the unordered
+// pair, derived from a hash of the medium seed and the pair — stable,
+// symmetric and independent of query order. The draw is clamped to
+// ±3σ so the spatial index's candidate radius (sized with the same
+// headroom) provably covers every pair the cutoff could accept.
+func (m *Medium) shadowOffset(a, b ID) float64 {
+	sigma := m.cfg.Channel.ShadowingSigmaDB
+	if sigma == 0 {
+		return 0
+	}
 	if a > b {
 		a, b = b, a
 	}
-	return [2]ID{a, b}
-}
-
-// shadowOffset returns the static shadowing term for the pair, drawing it
-// on first use.
-func (m *Medium) shadowOffset(a, b ID) float64 {
-	if m.cfg.Channel.ShadowingSigmaDB == 0 {
-		return 0
+	rng := hrand{s: m.shadowSeed ^ (uint64(a) << 16) ^ uint64(b)}
+	z := rng.NormFloat64()
+	if z > shadowClampSigma {
+		z = shadowClampSigma
+	} else if z < -shadowClampSigma {
+		z = -shadowClampSigma
 	}
-	k := pairKey(a, b)
-	if v, ok := m.shadow[k]; ok {
-		return v
-	}
-	v := m.sim.Rand().NormFloat64() * m.cfg.Channel.ShadowingSigmaDB
-	m.shadow[k] = v
-	return v
+	return z * sigma
 }
 
 // meanRSSI returns the static (no fast fading) received power from tx at
@@ -229,19 +327,29 @@ func (m *Medium) MeanLink(a, b ID) (phy.Link, error) {
 
 // BusyAt reports whether r would sense the channel busy right now: some
 // other radio's ongoing transmission is detectable above the noise floor
-// plus the detection margin, or r itself is transmitting.
+// plus the detection margin, or r itself is transmitting. With the
+// spatial index on, transmissions whose precomputed detection range
+// cannot reach r are skipped before the link-budget evaluation.
 func (m *Medium) BusyAt(r *Radio) bool {
 	now := m.sim.Now()
 	if r.txUntil > now {
 		return true
 	}
+	prefilter := !m.cfg.DisableSpatialIndex
 	threshold := m.cfg.Channel.NoiseFloorDBm(r.params.BW) + m.cfg.DetectionMarginDB
 	for _, t := range m.active {
-		if t.done || t.from == r || t.end <= now {
+		if t.from == r || t.end <= now {
 			continue
 		}
 		if phy.Orthogonal(t.params, r.params) {
 			continue
+		}
+		if prefilter {
+			dx := r.pos.X - t.from.pos.X
+			dy := r.pos.Y - t.from.pos.Y
+			if dx*dx+dy*dy > t.detectRangeSqM {
+				continue
+			}
 		}
 		if m.meanRSSI(t.from, r, t.params) >= threshold {
 			return true
@@ -250,46 +358,106 @@ func (m *Medium) BusyAt(r *Radio) bool {
 	return false
 }
 
+// acquire pops a recycled transmission or allocates a fresh one.
+func (m *Medium) acquire() *transmission {
+	if n := len(m.pool); n > 0 {
+		t := m.pool[n-1]
+		m.pool[n-1] = nil
+		m.pool = m.pool[:n-1]
+		return t
+	}
+	return &transmission{activeIdx: -1}
+}
+
+// release resets a finished, unreferenced transmission for reuse. The
+// interferer and candidate slices keep their capacity — that is the
+// scratch reuse that makes the steady-state hot path allocation-free.
+func (m *Medium) release(t *transmission) {
+	t.from = nil
+	t.frame = Frame{}
+	t.interferers = t.interferers[:0]
+	t.candidates = t.candidates[:0]
+	t.refs = 0
+	t.activeIdx = -1
+	t.done = false
+	if len(m.pool) < maxPool {
+		m.pool = append(m.pool, t)
+	}
+}
+
 // transmit is called by Radio.Transmit after local checks pass.
 func (m *Medium) transmit(r *Radio, frame Frame) (time.Duration, error) {
 	now := m.sim.Now()
 	airtime := phy.Airtime(r.params, frame.Bytes)
-	t := &transmission{
-		from:   r,
-		params: r.params,
-		frame:  frame,
-		start:  now,
-		end:    now.Add(airtime),
+	t := m.acquire()
+	t.seq = m.txSeq
+	m.txSeq++
+	t.from = r
+	t.params = r.params
+	t.frame = frame
+	t.start = now
+	t.end = now.Add(airtime)
+	if !m.cfg.DisableSpatialIndex {
+		// Precompute how far this frame remains detectable by carrier
+		// sense at the most sensitive attached bandwidth, with the same
+		// 3σ shadowing headroom as delivery: BusyAt's distance prefilter.
+		ch := &m.cfg.Channel
+		budget := t.params.TxPowerDBm + ch.AntennaGainDBi +
+			shadowClampSigma*ch.ShadowingSigmaDB -
+			(m.minNoiseFloorDBm + m.cfg.DetectionMarginDB)
+		d := ch.DistanceAtPathLossDB(budget) * rangeSlack
+		t.detectRangeSqM = d * d
 	}
-	// Cross-register interference with every active overlapping frame.
+	// Cross-register interference with every active overlapping frame;
+	// refs counts the interferer-list references so pooled transmissions
+	// are recycled only once nobody can still inspect them.
 	for _, u := range m.active {
-		if u.done || u.end <= now {
+		if u.end <= now {
 			continue
 		}
 		u.interferers = append(u.interferers, t)
+		t.refs++
 		t.interferers = append(t.interferers, u)
+		u.refs++
 	}
+	t.activeIdx = len(m.active)
 	m.active = append(m.active, t)
 	m.stats.TxFrames++
 	m.stats.TxAirtime += airtime
 	r.txUntil = t.end
 	r.txCount++
 	r.txAirtime += airtime
-
-	// Schedule per-receiver delivery decisions at end of frame, then the
-	// pruning pass (same timestamp; simkit preserves scheduling order).
-	for _, rx := range m.order {
-		if rx == r {
-			continue
-		}
-		rx := rx
-		m.sim.DoAt(t.end, func() { m.deliver(t, rx) })
-	}
-	m.sim.DoAt(t.end, func() { m.prune(t) })
+	// One event settles the whole frame at end-of-air: collect the
+	// candidate receivers (positions as of the delivery decision, so
+	// mobility during the airtime is honoured), decide each reception,
+	// then retire the transmission.
+	m.sim.DoAt(t.end, func() { m.finish(t) })
 	return airtime, nil
 }
 
-// deliver decides whether rx successfully receives t.
+// finish runs at end-of-air: candidate collection, per-receiver delivery
+// decisions, then pruning.
+func (m *Medium) finish(t *transmission) {
+	if m.cfg.DisableSpatialIndex {
+		for _, rx := range m.order {
+			if rx != t.from {
+				t.candidates = append(t.candidates, rx)
+			}
+		}
+	} else {
+		t.candidates = m.grid.appendWithin(t.candidates, t.from, t.from.candidateM)
+	}
+	m.stats.DeliveryAttempts += uint64(len(t.candidates))
+	for _, rx := range t.candidates {
+		m.deliver(t, rx)
+	}
+	m.prune(t)
+}
+
+// deliver decides whether rx successfully receives t. All randomness is
+// drawn from a stream keyed by (medium seed, transmission sequence,
+// receiver), so the outcome does not depend on evaluation order or on
+// which other receivers were considered.
 func (m *Medium) deliver(t *transmission, rx *Radio) {
 	if rx.down || rx.handler == nil {
 		return
@@ -298,6 +466,18 @@ func (m *Medium) deliver(t *transmission, rx *Radio) {
 	// (multi-SF gateways demodulate every spreading factor concurrently,
 	// like an SX1301 concentrator).
 	if !rx.multiSF && !phy.CanDecode(rx.params, t.params) {
+		return
+	}
+	meanRSSI := m.meanRSSI(t.from, rx, t.params)
+	noise := m.cfg.Channel.NoiseFloorDBm(t.params.BW)
+	floor := phy.SNRFloorDB(t.params.SF)
+	// Hard cutoff on the mean (pre-fading) margin: receivers this far
+	// below the floor are out of demodulation range, full stop. The
+	// spatial index never schedules receivers beyond the radius where
+	// this check could pass, so grid and all-pairs runs agree exactly.
+	if meanRSSI-noise-floor < -m.cfg.CutoffMarginDB {
+		m.stats.BelowSensitivity++
+		rx.missWeak++
 		return
 	}
 	// Half-duplex: the receiver was transmitting during t if any of t's
@@ -310,18 +490,19 @@ func (m *Medium) deliver(t *transmission, rx *Radio) {
 		}
 	}
 
-	rssi := m.meanRSSI(t.from, rx, t.params)
+	rng := hrand{s: m.deliverySeed ^ (t.seq << 16) ^ uint64(rx.id)}
+	rssi := meanRSSI
 	if m.cfg.FadingSigmaDB > 0 {
-		rssi += m.sim.Rand().NormFloat64() * m.cfg.FadingSigmaDB
+		rssi += rng.NormFloat64() * m.cfg.FadingSigmaDB
 	}
-	snr := rssi - m.cfg.Channel.NoiseFloorDBm(t.params.BW)
-	margin := snr - phy.SNRFloorDB(t.params.SF)
+	snr := rssi - noise
+	margin := snr - floor
 
 	// Noise-limited success: logistic waterfall around the demod floor
 	// (or a hard threshold in deterministic mode).
 	weak := margin <= 0
 	if !m.cfg.DeterministicDelivery {
-		weak = m.sim.Rand().Float64() >= phy.DeliveryProbability(margin)
+		weak = rng.Float64() >= phy.DeliveryProbability(margin)
 	}
 	if weak {
 		m.stats.BelowSensitivity++
@@ -349,7 +530,7 @@ func (m *Medium) deliver(t *transmission, rx *Radio) {
 		cir := rssi - strongest
 		captured := cir >= m.cfg.CaptureDB
 		if !m.cfg.DeterministicDelivery {
-			captured = m.sim.Rand().Float64() < phy.DeliveryProbability(cir-m.cfg.CaptureDB)
+			captured = rng.Float64() < phy.DeliveryProbability(cir-m.cfg.CaptureDB)
 		}
 		if !captured {
 			m.stats.Collided++
@@ -369,20 +550,28 @@ func (m *Medium) deliver(t *transmission, rx *Radio) {
 	})
 }
 
-// prune drops t from the active list once it can no longer interfere.
+// prune retires t: swap-remove from the active list by index (O(1)
+// instead of the old full-slice rescan), drop its references to the
+// frames it overlapped, and recycle whatever became unreferenced.
 func (m *Medium) prune(t *transmission) {
 	t.done = true
-	keep := m.active[:0]
-	for _, u := range m.active {
-		if !u.done {
-			keep = append(keep, u)
+	last := len(m.active) - 1
+	if t.activeIdx != last {
+		moved := m.active[last]
+		m.active[t.activeIdx] = moved
+		moved.activeIdx = t.activeIdx
+	}
+	m.active[last] = nil
+	m.active = m.active[:last]
+	for _, u := range t.interferers {
+		u.refs--
+		if u.done && u.refs == 0 {
+			m.release(u)
 		}
 	}
-	// Zero the tail so pruned transmissions are collectable.
-	for i := len(keep); i < len(m.active); i++ {
-		m.active[i] = nil
+	if t.refs == 0 {
+		m.release(t)
 	}
-	m.active = keep
 }
 
 // Radio is one simulated transceiver attached to a Medium.
@@ -396,6 +585,13 @@ type Radio struct {
 	down    bool
 	multiSF bool
 	txUntil simkit.Time
+
+	// candidateM is the delivery candidate radius for frames this radio
+	// sends (a function of its params and the channel); cell and
+	// cellIdx locate the radio inside the medium's spatial grid.
+	candidateM float64
+	cell       cellKey
+	cellIdx    int
 
 	txCount        uint64
 	rxCount        uint64
@@ -411,10 +607,17 @@ func (r *Radio) ID() ID { return r.id }
 // Position returns the radio's location.
 func (r *Radio) Position() phy.Point { return r.pos }
 
-// SetPosition moves the radio (mobile deployments). Propagation always
-// uses positions as of the delivery decision; the static per-pair
-// shadowing offset is kept, modelling terrain rather than location.
-func (r *Radio) SetPosition(p phy.Point) { r.pos = p }
+// SetPosition moves the radio (mobile deployments) and reindexes it in
+// the medium's spatial grid. Propagation always uses positions as of
+// the delivery decision; the static per-pair shadowing offset is kept,
+// modelling terrain rather than location.
+func (r *Radio) SetPosition(p phy.Point) {
+	if r.medium != nil && !r.medium.cfg.DisableSpatialIndex {
+		r.medium.grid.move(r, p)
+		return
+	}
+	r.pos = p
+}
 
 // Params returns the radio's current transmission parameters.
 func (r *Radio) Params() phy.Params { return r.params }
@@ -450,8 +653,11 @@ func (r *Radio) DutyCycleWait() time.Duration {
 	return r.limiter.WaitTime(r.medium.sim.Now())
 }
 
-// Transmit puts a frame on the air. It returns the frame's airtime, or
-// one of ErrRadioDown, ErrRadioBusy, ErrDutyCycle.
+// Transmit puts a frame on the air and returns the frame's airtime. It
+// fails with ErrUnregistered (radio never attached to a medium),
+// ErrRadioDown, ErrRadioBusy (transmitter mid-frame), ErrDutyCycle
+// (regulatory duty-cycle budget exhausted) or ErrDwellExceeded (frame
+// airtime above the regional dwell limit).
 func (r *Radio) Transmit(frame Frame) (time.Duration, error) {
 	if r.medium == nil {
 		return 0, ErrUnregistered
@@ -470,6 +676,7 @@ func (r *Radio) Transmit(frame Frame) (time.Duration, error) {
 	}
 	airtime := phy.Airtime(r.params, frame.Bytes)
 	if dwell := r.limiter.Region().MaxDwell; dwell > 0 && airtime > dwell {
+		r.medium.stats.DwellBlocked++
 		return 0, ErrDwellExceeded
 	}
 	r.limiter.RecordTransmission(now, airtime)

@@ -77,8 +77,10 @@ func TestNoDeliveryFarOutOfRange(t *testing.T) {
 	if received != 0 {
 		t.Fatal("frame delivered far beyond max range")
 	}
-	if m.Stats().BelowSensitivity != 1 {
-		t.Fatalf("stats = %+v, want 1 below-sensitivity miss", m.Stats())
+	// A receiver this far out is beyond the delivery cutoff radius, so
+	// the spatial index never even schedules a reception decision.
+	if st := m.Stats(); st.DeliveryAttempts != 0 || st.BelowSensitivity != 0 {
+		t.Fatalf("stats = %+v, want no delivery attempt scheduled", st)
 	}
 }
 
@@ -383,6 +385,9 @@ func TestDwellTimeLimitEnforced(t *testing.T) {
 	if _, err := a.Transmit(Frame{Bytes: 200}); err != ErrDwellExceeded {
 		t.Fatalf("err = %v, want ErrDwellExceeded", err)
 	}
+	if m.Stats().DwellBlocked != 1 {
+		t.Fatalf("DwellBlocked = %d, want 1", m.Stats().DwellBlocked)
+	}
 	// A short frame fits inside the dwell limit.
 	if _, err := a.Transmit(Frame{Bytes: 10}); err != nil {
 		t.Fatalf("short frame rejected: %v", err)
@@ -418,10 +423,13 @@ func TestReceptionOutcomeConservation(t *testing.T) {
 	}
 	sim.Run()
 	st := m.Stats()
-	attempts := st.TxFrames * uint64(n-1)
 	accounted := st.Delivered + st.BelowSensitivity + st.Collided + st.HalfDuplexMiss
-	if accounted != attempts {
+	if accounted != st.DeliveryAttempts {
 		t.Fatalf("outcomes not conserved: %d attempts, %d accounted (%+v)",
-			attempts, accounted, st)
+			st.DeliveryAttempts, accounted, st)
+	}
+	// The index can only shrink the candidate set relative to all-pairs.
+	if max := st.TxFrames * uint64(n-1); st.DeliveryAttempts > max {
+		t.Fatalf("DeliveryAttempts = %d beyond all-pairs bound %d", st.DeliveryAttempts, max)
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"lorameshmon/internal/node"
 	"lorameshmon/internal/phy"
+	"lorameshmon/internal/simkit"
 )
 
 // MobilityConfig tunes the random-waypoint model: each mobile node picks
@@ -28,12 +29,15 @@ func DefaultMobility(speedMps float64) MobilityConfig {
 }
 
 type walker struct {
-	dep      *Deployment
-	n        *node.Node
-	cfg      MobilityConfig
-	target   phy.Point
-	pausing  bool
-	resumeAt time.Duration
+	dep     *Deployment
+	n       *node.Node
+	cfg     MobilityConfig
+	target  phy.Point
+	pausing bool
+	// resumeAt is the absolute sim time the current pause ends. Keeping
+	// it absolute (rather than a countdown decremented by whole ticks)
+	// makes the dwell exactly Pause regardless of the tick granularity.
+	resumeAt simkit.Time
 }
 
 // EnableMobility starts random-waypoint movement for every non-pinned
@@ -73,12 +77,13 @@ func (w *walker) pickWaypoint() {
 
 func (w *walker) step() {
 	if w.pausing {
-		w.resumeAt -= w.cfg.Tick
-		if w.resumeAt <= 0 {
-			w.pausing = false
-			w.pickWaypoint()
+		if w.dep.Sim.Now() < w.resumeAt {
+			return
 		}
-		return
+		// The pause is over: pick the next waypoint and start walking on
+		// this very tick — no idle tick burned between dwell and motion.
+		w.pausing = false
+		w.pickWaypoint()
 	}
 	pos := w.n.Radio().Position()
 	dx, dy := w.target.X-pos.X, w.target.Y-pos.Y
@@ -87,7 +92,7 @@ func (w *walker) step() {
 	if dist <= stepLen {
 		w.n.Radio().SetPosition(w.target)
 		w.pausing = true
-		w.resumeAt = w.cfg.Pause
+		w.resumeAt = w.dep.Sim.Now().Add(w.cfg.Pause)
 		return
 	}
 	w.n.Radio().SetPosition(phy.Point{

@@ -1,5 +1,5 @@
 // Package scenario builds complete simulated deployments: node
-// placement (line, grid, random geometric, star), radio and mesh
+// placement (line, grid, random geometric, star, campus), radio and mesh
 // configuration, per-node monitoring agents and uplinks, application
 // traffic, and failure schedules. Every experiment in the evaluation is
 // expressed as a Spec.
@@ -35,6 +35,12 @@ const (
 	// Star puts node 1 in the centre and the rest on a circle of radius
 	// SpacingM — the classic LoRaWAN single-gateway shape.
 	Star
+	// Campus scatters nodes in dense clusters around uniformly placed
+	// building centres inside an AreaM×AreaM square — the smart-campus
+	// deployment shape, with strong density contrast between buildings
+	// and the open space between them. SpacingM is the in-building
+	// scatter σ (default AreaM/40).
+	Campus
 )
 
 func (l Layout) String() string {
@@ -47,6 +53,8 @@ func (l Layout) String() string {
 		return "random"
 	case Star:
 		return "star"
+	case Campus:
+		return "campus"
 	default:
 		return fmt.Sprintf("layout(%d)", int(l))
 	}
@@ -180,6 +188,11 @@ func placeNodes(rng *rand.Rand, spec Spec) ([]phy.Point, error) {
 			return nil, fmt.Errorf("scenario: random layout needs positive AreaM")
 		}
 		return randomConnected(rng, spec)
+	case Campus:
+		if spec.AreaM <= 0 {
+			return nil, fmt.Errorf("scenario: campus layout needs positive AreaM")
+		}
+		return campusClusters(rng, spec), nil
 	default:
 		return nil, fmt.Errorf("scenario: unknown layout %v", spec.Layout)
 	}
@@ -205,25 +218,75 @@ func randomConnected(rng *rand.Rand, spec Spec) ([]phy.Point, error) {
 		spec.N, spec.AreaM, maxRange, attempts)
 }
 
+// campusClusters scatters nodes normally around uniformly placed
+// building centres (one building per ~24 nodes), clamped into the area.
+// Unlike RandomGeometric there is no connectivity resampling: a campus
+// with an unreachable outbuilding is a legitimate topology.
+func campusClusters(rng *rand.Rand, spec Spec) []phy.Point {
+	sigma := spec.SpacingM
+	if sigma <= 0 {
+		sigma = spec.AreaM / 40
+	}
+	buildings := spec.N / 24
+	if buildings < 1 {
+		buildings = 1
+	}
+	centres := make([]phy.Point, buildings)
+	for i := range centres {
+		centres[i] = phy.Point{X: rng.Float64() * spec.AreaM, Y: rng.Float64() * spec.AreaM}
+	}
+	clamp := func(v float64) float64 { return math.Min(math.Max(v, 0), spec.AreaM) }
+	pts := make([]phy.Point, spec.N)
+	for i := range pts {
+		c := centres[i%buildings]
+		pts[i] = phy.Point{
+			X: clamp(c.X + rng.NormFloat64()*sigma),
+			Y: clamp(c.Y + rng.NormFloat64()*sigma),
+		}
+	}
+	return pts
+}
+
 // connected reports whether the unit-disk graph over pts with the given
-// radius is connected (BFS from node 0).
+// radius is connected. Points are bucketed into radius-sized cells so
+// the traversal touches only the 3×3 neighbourhood per node — O(n·deg)
+// instead of the all-pairs scan, which matters when placement resamples
+// 10k+ node topologies.
 func connected(pts []phy.Point, radius float64) bool {
 	n := len(pts)
 	if n <= 1 {
 		return true
 	}
+	if radius <= 0 {
+		return false
+	}
+	cellOf := func(p phy.Point) [2]int32 {
+		return [2]int32{int32(math.Floor(p.X / radius)), int32(math.Floor(p.Y / radius))}
+	}
+	buckets := make(map[[2]int32][]int32, n)
+	for i, p := range pts {
+		k := cellOf(p)
+		buckets[k] = append(buckets[k], int32(i))
+	}
 	visited := make([]bool, n)
-	queue := []int{0}
+	stack := make([]int32, 0, n)
+	stack = append(stack, 0)
 	visited[0] = true
 	seen := 1
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for i := 0; i < n; i++ {
-			if !visited[i] && pts[cur].Distance(pts[i]) <= radius {
-				visited[i] = true
-				seen++
-				queue = append(queue, i)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		p := pts[cur]
+		k := cellOf(p)
+		for dy := int32(-1); dy <= 1; dy++ {
+			for dx := int32(-1); dx <= 1; dx++ {
+				for _, j := range buckets[[2]int32{k[0] + dx, k[1] + dy}] {
+					if !visited[j] && p.Distance(pts[j]) <= radius {
+						visited[j] = true
+						seen++
+						stack = append(stack, j)
+					}
+				}
 			}
 		}
 	}

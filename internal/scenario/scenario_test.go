@@ -7,6 +7,7 @@ import (
 
 	"lorameshmon/internal/phy"
 	"lorameshmon/internal/radio"
+	"lorameshmon/internal/simkit"
 	"lorameshmon/internal/wire"
 )
 
@@ -295,6 +296,99 @@ func TestMobilityMovesNodes(t *testing.T) {
 	}
 	if dep.RouteChurn() == 0 {
 		t.Fatal("no route churn under mobility")
+	}
+}
+
+// TestMobilityPauseExactDwell pins the random-waypoint pause
+// accounting: with an effectively infinite speed the walker reaches a
+// fresh waypoint on every moving tick, so consecutive position changes
+// must be exactly Pause apart — not ⌈Pause/Tick⌉ ticks plus an extra
+// idle tick, which the old countdown accounting produced.
+func TestMobilityPauseExactDwell(t *testing.T) {
+	spec := DefaultSpec()
+	spec.N = 1
+	spec.Monitor = false
+	spec.AreaM = 1000
+	dep, err := Build(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MobilityConfig{SpeedMps: 1e9, Pause: 3 * time.Second, Tick: time.Second}
+	if err := dep.EnableMobility(cfg); err != nil {
+		t.Fatal(err)
+	}
+	r := dep.Nodes[0].Radio()
+	last := r.Position()
+	var moves []simkit.Time
+	// Registered after EnableMobility, so this observer sees each tick's
+	// position after the walker stepped.
+	dep.Sim.Every(cfg.Tick, func() {
+		if p := r.Position(); p != last {
+			moves = append(moves, dep.Sim.Now())
+			last = p
+		}
+	})
+	dep.RunFor(20 * time.Second)
+	if len(moves) < 4 {
+		t.Fatalf("only %d moves observed: %v", len(moves), moves)
+	}
+	for i := 1; i < len(moves); i++ {
+		if d := moves[i].Sub(moves[i-1]); d != cfg.Pause {
+			t.Fatalf("dwell between moves = %v, want exactly %v (moves at %v)", d, cfg.Pause, moves)
+		}
+	}
+}
+
+func TestCampusPlacement(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Layout = Campus
+	spec.N = 48
+	spec.Monitor = false
+	spec.AreaM = 3000
+	dep, err := Build(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]phy.Point, len(dep.Nodes))
+	for i, n := range dep.Nodes {
+		p := n.Radio().Position()
+		if p.X < 0 || p.X > spec.AreaM || p.Y < 0 || p.Y > spec.AreaM {
+			t.Fatalf("node %d outside the area: %+v", i+1, p)
+		}
+		pts[i] = p
+	}
+	// Clustered placement: mean nearest-neighbour distance must sit well
+	// under the ~216 m a uniform scatter of 48 nodes in this area gives.
+	var meanNN float64
+	for i := range pts {
+		nn := math.Inf(1)
+		for j := range pts {
+			if i != j {
+				if d := pts[i].Distance(pts[j]); d < nn {
+					nn = d
+				}
+			}
+		}
+		meanNN += nn
+	}
+	meanNN /= float64(len(pts))
+	if meanNN > 100 {
+		t.Fatalf("mean nearest-neighbour distance %.0fm — campus layout not clustered", meanNN)
+	}
+	// Same seed, same campus.
+	dep2, err := Build(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range dep2.Nodes {
+		if n.Radio().Position() != pts[i] {
+			t.Fatal("campus placement not deterministic")
+		}
+	}
+	bad := spec
+	bad.AreaM = 0
+	if _, err := Build(bad, nil); err == nil {
+		t.Fatal("campus without area accepted")
 	}
 }
 

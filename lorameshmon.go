@@ -69,6 +69,7 @@ const (
 	Grid            = scenario.Grid
 	RandomGeometric = scenario.RandomGeometric
 	Star            = scenario.Star
+	Campus          = scenario.Campus
 )
 
 // DefaultSpec returns the standard 10-node monitored campus deployment.

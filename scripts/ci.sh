@@ -7,6 +7,7 @@
 #   scripts/ci.sh test      # race-enabled tests
 #   scripts/ci.sh recover   # crash-safety suite (WAL, dedup, recovery) under -race
 #   scripts/ci.sh federate  # federation suite (ring, router, view, handoff) under -race
+#   scripts/ci.sh scale     # spatial-index suite (grid vs brute, reindex, mobility)
 #   scripts/ci.sh fuzz      # bounded fuzzing of the chunk codec round-trip
 #   scripts/ci.sh bench     # perf harness -> BENCH_NEW.json
 #   scripts/ci.sh compare   # perf gate vs committed BENCH_1.json
@@ -63,6 +64,21 @@ stage_federate() {
     ./internal/federate
 }
 
+stage_scale() {
+  echo "== spatial-index suite =="
+  # The grid-medium guarantees run again by name: bit-exact equivalence
+  # against the all-pairs reference (stats, per-radio logs, BusyAt,
+  # Transmit errors — including mid-run SetPosition moves), the 10k-node
+  # delivery-event reduction floor, and the mobility-pause accounting
+  # that the index's reindex-on-move depends on. A refactor that renames
+  # these out of the suite fails here instead of silently passing
+  # stage_test.
+  go test -race -count=1 -run 'GridEquivalentToAllPairs|GridReindexOnMove|GridReductionAt10k' \
+    ./internal/radio
+  go test -race -count=1 -run 'MobilityPauseExactDwell|CampusPlacement' \
+    ./internal/scenario
+}
+
 stage_fuzz() {
   echo "== bounded fuzz: chunk codec round-trip =="
   # 20 seconds of coverage-guided input generation on the compression
@@ -93,6 +109,7 @@ case "${1:-all}" in
   test)     stage_test ;;
   recover)  stage_recover ;;
   federate) stage_federate ;;
+  scale)    stage_scale ;;
   fuzz)     stage_fuzz ;;
   bench)    stage_bench ;;
   compare)  stage_compare ;;
@@ -102,13 +119,14 @@ case "${1:-all}" in
     stage_test
     stage_recover
     stage_federate
+    stage_scale
     stage_fuzz
     stage_bench
     stage_compare
     echo "CI OK"
     ;;
   *)
-    echo "usage: scripts/ci.sh [vet|build|test|recover|federate|fuzz|bench|compare|all]" >&2
+    echo "usage: scripts/ci.sh [vet|build|test|recover|federate|scale|fuzz|bench|compare|all]" >&2
     exit 2
     ;;
 esac
