@@ -68,6 +68,8 @@ func BenchmarkT8ParallelIngest(b *testing.B) { benchTable(b, experiments.T8Paral
 
 func BenchmarkF12LargeTransfers(b *testing.B) { benchTable(b, experiments.F12LargeTransfers) }
 
+func BenchmarkT10ReadSaturation(b *testing.B) { benchTable(b, experiments.T10ReadSaturation) }
+
 func BenchmarkS1Scale(b *testing.B) { benchTable(b, experiments.S1Scale) }
 
 // BenchmarkIngestParallel drives the collector's sharded ingest path

@@ -8,6 +8,12 @@
 // checkpoints snapshot the full collector state, and on startup the
 // newest snapshot plus the WAL tail rebuild exactly the state that was
 // acknowledged before the previous process died.
+//
+// The dashboard serves reads through an epoch-keyed per-panel cache
+// (-read-cache-entries bounds it, -no-read-cache disables it) and
+// pushes incremental updates over GET /events (Server-Sent Events;
+// -sse-queue bounds each subscriber's delta queue) with a long-poll
+// fallback at GET /events/poll.
 package main
 
 import (
@@ -50,6 +56,9 @@ func main() {
 		snapshot    = flag.String("snapshot", "", "persist only the time-series store to this file (legacy; superseded by -data-dir)")
 		snapEvery   = flag.Duration("snapshot-every", time.Minute, "checkpoint cadence with -data-dir; tsdb snapshot cadence with -snapshot")
 		enablePprof = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
+		noCache     = flag.Bool("no-read-cache", false, "disable the epoch-keyed panel response cache (re-render every request)")
+		cacheSize   = flag.Int("read-cache-entries", 512, "panel response cache capacity")
+		sseQueue    = flag.Int("sse-queue", 16, "per-subscriber SSE event queue; overflow coalesces into a resync")
 	)
 	flag.Parse()
 
@@ -106,7 +115,13 @@ func main() {
 	}
 	engine := alert.NewEngine(coll, alert.Config{HeartbeatTimeoutS: *hbTimeout})
 	engine.Instrument(reg)
-	dash := dashboard.New(coll, engine, dashboard.Config{Title: *title})
+	dash := dashboard.New(coll, engine, dashboard.Config{
+		Title:        *title,
+		Metrics:      reg, // meshmon_read_* on /metrics and the health panel
+		DisableCache: *noCache,
+		CacheEntries: *cacheSize,
+		SSEQueue:     *sseQueue,
+	})
 
 	// Evaluate alert rules periodically against record time: MaxTS is the
 	// newest timestamp any client reported, which keeps replayed and live
@@ -187,6 +202,9 @@ func main() {
 	log.Printf("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
+	// Stop the SSE hub first: subscribers drain their queued deltas and
+	// hang up, which lets Shutdown's in-flight drain finish.
+	dash.Close()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}

@@ -7,6 +7,12 @@
 // start + i/rate); with -sweep it walks a comma-separated list of rates
 // and prints one line per level, so the saturation knee of a deployed
 // server can be found the same way experiment T6 finds it in-process.
+//
+// With -read it exercises the other side of the server: concurrent
+// dashboard readers fetching the panel mix (-read-paths) against -url,
+// reporting achieved requests/s and client-observed p50/p99 — the load
+// shape the streaming read path (panel cache + SSE deltas) absorbs,
+// and the live twin of experiment T10.
 package main
 
 import (
@@ -23,19 +29,18 @@ import (
 
 func main() {
 	var (
-		url     = flag.String("url", "http://localhost:8080/api/v1/ingest", "collector ingest endpoint")
+		url     = flag.String("url", "http://localhost:8080/api/v1/ingest", "collector ingest endpoint (-read: dashboard base URL)")
 		nodes   = flag.Int("nodes", 50, "simulated node count")
 		perB    = flag.Int("records", 32, "packet records per batch")
-		workers = flag.Int("workers", 8, "concurrent uploaders")
-		total   = flag.Int("batches", 1000, "total batches to send per level")
+		workers = flag.Int("workers", 8, "concurrent uploaders (-read: concurrent readers)")
+		total   = flag.Int("batches", 1000, "total batches to send per level (-read: total fetches)")
 		binary  = flag.Bool("binary", false, "use the compact binary wire format")
-		rate    = flag.Float64("rate", 0, "offered batches/s (0 = unpaced)")
+		rate    = flag.Float64("rate", 0, "offered batches/s or requests/s (0 = unpaced)")
 		sweep   = flag.String("sweep", "", "comma-separated offered rates to sweep, e.g. 500,1000,2000")
+		read    = flag.Bool("read", false, "generate dashboard read load instead of ingest load")
+		paths   = flag.String("read-paths", "", "comma-separated dashboard paths to fetch (default: the built-in panel mix)")
 	)
 	flag.Parse()
-
-	up := uplink.NewHTTP(*url)
-	up.Binary = *binary
 
 	rates := []float64{*rate}
 	if *sweep != "" {
@@ -48,6 +53,14 @@ func main() {
 			rates = append(rates, r)
 		}
 	}
+
+	if *read {
+		runRead(*url, *paths, *workers, *total, rates)
+		return
+	}
+
+	up := uplink.NewHTTP(*url)
+	up.Binary = *binary
 
 	for _, r := range rates {
 		res := loadgen.Run(loadgen.Config{
@@ -67,5 +80,44 @@ func main() {
 		fmt.Printf("%s: sent %d batches (%d failed) in %v — %.0f batches/s, %.0f records/s\n",
 			offered, res.Sent, res.Failed, res.Elapsed.Round(time.Millisecond),
 			res.BatchesPerSec(), float64(records)/res.Elapsed.Seconds())
+	}
+}
+
+// runRead sweeps read levels against the dashboard at base.
+func runRead(base, pathList string, clients, requests int, rates []float64) {
+	base = strings.TrimSuffix(base, "/")
+	// -url's ingest default makes no sense for reads; strip the API path
+	// if the operator left it.
+	base = strings.TrimSuffix(base, "/api/v1/ingest")
+	var paths []string
+	if pathList != "" {
+		for _, p := range strings.Split(pathList, ",") {
+			p = strings.TrimSpace(p)
+			if p != "" && p[0] != '/' {
+				p = "/" + p
+			}
+			if p != "" {
+				paths = append(paths, p)
+			}
+		}
+	}
+	for _, r := range rates {
+		res := loadgen.RunRead(loadgen.ReadConfig{
+			BaseURL:  base,
+			Paths:    paths,
+			Clients:  clients,
+			Requests: requests,
+			Rate:     r,
+			OnError:  func(i uint64, err error) { log.Printf("fetch %d: %v", i, err) },
+		})
+
+		offered := "unpaced"
+		if r > 0 {
+			offered = fmt.Sprintf("%.0f req/s offered", r)
+		}
+		fmt.Printf("%s: %d fetches (%d failed, %.1f MB) in %v — %.0f req/s, p50 %v, p99 %v\n",
+			offered, res.Done, res.Failed, float64(res.Bytes)/1e6,
+			res.Elapsed.Round(time.Millisecond), res.RequestsPerSec(),
+			res.Quantile(0.5).Round(time.Microsecond), res.Quantile(0.99).Round(time.Microsecond))
 	}
 }

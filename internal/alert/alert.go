@@ -11,6 +11,7 @@ package alert
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"lorameshmon/internal/collector"
@@ -107,10 +108,20 @@ type engineInstruments struct {
 // collector through the View interface only, so any View implementation
 // can back it.
 type Engine struct {
-	coll    collector.View
-	cfg     Config
+	coll collector.View
+	cfg  Config
+	// mu guards the alert state: Check mutates it from the evaluation
+	// goroutine while dashboard requests and the SSE hub read Active,
+	// History and Generation concurrently.
+	mu      sync.Mutex
 	active  map[alertKey]*Alert
 	history []Alert
+	// gen counts alert state transitions (firings + resolutions) — the
+	// alerts panel's invalidation clock, paired with the collector's
+	// ingest epoch. Check runs asynchronously after ingest, so a cached
+	// alerts panel keyed on the ingest epoch alone could go stale
+	// between the epoch bump and the evaluation pass that fires on it.
+	gen uint64
 	// lossSeen remembers the lost-batch count already alerted on so the
 	// rule re-fires only when losses grow.
 	lossSeen map[wire.NodeID]uint64
@@ -161,8 +172,19 @@ func NewEngine(coll collector.View, cfg Config) *Engine {
 // Config returns the effective configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// Generation counts alert state transitions (firings and resolutions).
+// It advances under the same lock that mutates the alert maps, so a
+// reader that sees generation G sees every transition counted into G.
+func (e *Engine) Generation() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.gen
+}
+
 // Active returns currently-firing alerts sorted by (kind, node).
 func (e *Engine) Active() []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	out := make([]Alert, 0, len(e.active))
 	for _, a := range e.active {
 		out = append(out, *a)
@@ -178,6 +200,8 @@ func (e *Engine) Active() []Alert {
 
 // History returns resolved alerts in resolution order.
 func (e *Engine) History() []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	out := make([]Alert, len(e.history))
 	copy(out, e.history)
 	return out
@@ -187,6 +211,8 @@ func (e *Engine) History() []Alert {
 // time) and returns newly fired alerts.
 func (e *Engine) Check(now float64) []Alert {
 	start := time.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var fired []Alert
 	fired = append(fired, e.checkNodeDown(now)...)
 	fired = append(fired, e.checkDutyCycle(now)...)
@@ -199,9 +225,11 @@ func (e *Engine) Check(now float64) []Alert {
 	return fired
 }
 
+// fire and resolve run with e.mu held (only Check reaches them).
 func (e *Engine) fire(key alertKey, a Alert) *Alert {
 	cp := a
 	e.active[key] = &cp
+	e.gen++
 	if e.inst != nil {
 		e.inst.firings.With(string(a.Kind)).Inc()
 	}
@@ -214,6 +242,7 @@ func (e *Engine) resolve(key alertKey, now float64) {
 		return
 	}
 	delete(e.active, key)
+	e.gen++
 	a.Resolved = true
 	a.ResolvedAt = now
 	e.history = append(e.history, *a)

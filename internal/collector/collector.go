@@ -330,6 +330,15 @@ type Collector struct {
 	// recentSeq stamps packet records into a single global order across
 	// the per-shard recent rings.
 	recentSeq atomic.Uint64
+	// epoch counts accepted batches — the read path's invalidation clock.
+	// It is bumped after all of a batch's state mutation completes, so a
+	// reader that observes epoch E sees every batch counted into E.
+	epoch atomic.Uint64
+	// notifyMu guards notifyCh, the lazily created broadcast channel
+	// closed on the next epoch advance. Lazy creation keeps ingest
+	// allocation-free when nothing subscribes.
+	notifyMu sync.Mutex
+	notifyCh chan struct{}
 }
 
 // New builds a collector writing into db.
@@ -539,6 +548,38 @@ func (c *Collector) setMaxTS(ts float64) {
 	c.maxTS.Store(math.Float64bits(ts))
 }
 
+// Epoch returns the ingest epoch: a counter that advances once per
+// accepted batch, after that batch's state mutation completes. Two
+// reads at the same epoch with no ingest in between observe identical
+// collector state, which is what the read cache keys on.
+func (c *Collector) Epoch() uint64 { return c.epoch.Load() }
+
+// Changed returns a channel closed on the next epoch advance. Callers
+// re-arm by calling Changed again after a wake-up; the channel is
+// shared by all waiters, so a thousand SSE clients cost one close.
+func (c *Collector) Changed() <-chan struct{} {
+	c.notifyMu.Lock()
+	defer c.notifyMu.Unlock()
+	if c.notifyCh == nil {
+		c.notifyCh = make(chan struct{})
+	}
+	return c.notifyCh
+}
+
+// bumpEpoch advances the ingest epoch and wakes every Changed waiter.
+// Called after the shard lock is released, so waiters that wake and
+// read see the full batch.
+func (c *Collector) bumpEpoch() {
+	c.epoch.Add(1)
+	c.notifyMu.Lock()
+	ch := c.notifyCh
+	c.notifyCh = nil
+	c.notifyMu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
 // ErrDurability wraps write-ahead-log failures on the ingest path, so
 // the HTTP layer can answer 503 (retry me) instead of 400 (bad batch).
 var ErrDurability = errors.New("collector: durability failure")
@@ -565,6 +606,7 @@ func (c *Collector) Ingest(b wire.Batch) error {
 		c.inst.batchesDup.Inc()
 		return nil
 	}
+	c.bumpEpoch()
 	c.inst.batchesOK.Inc()
 	c.inst.records.Add(float64(b.Len()))
 	c.inst.latency.Observe(time.Since(start).Seconds())
@@ -577,7 +619,11 @@ func (c *Collector) Ingest(b wire.Batch) error {
 // ingest routes one validated batch to its owning shard (test seam; the
 // recovery replay path also funnels through here with persist=false).
 func (c *Collector) ingest(b wire.Batch, persist bool) (bool, error) {
-	return c.shardFor(b.Node).ingest(b, persist)
+	stored, err := c.shardFor(b.Node).ingest(b, persist)
+	if stored {
+		c.bumpEpoch()
+	}
+	return stored, err
 }
 
 // addIngestBytes credits accepted HTTP ingest payload bytes (the HTTP

@@ -30,6 +30,23 @@ type View interface {
 	Stats() Stats
 	// MaxTS is the newest record timestamp seen — "now" in record time.
 	MaxTS() float64
+	// Epoch is the ingest epoch: a monotone counter advancing once per
+	// accepted batch, after that batch's state is visible. Readers that
+	// cache rendered output key it on the epoch — equal epochs imply
+	// identical read-side state. A federated View sums member epochs.
+	Epoch() uint64
+	// Changed returns a channel closed on the next epoch advance — the
+	// push half of the invalidation hook. The channel is shared across
+	// waiters. To wait without missing an advance, obtain the channel
+	// FIRST, re-check Epoch, and only then block:
+	//
+	//	ch := v.Changed()
+	//	if v.Epoch() != last { ...advanced already... }
+	//	<-ch
+	//
+	// An advance that lands after the Epoch read closes the channel
+	// already held; one that landed before shows up in the re-check.
+	Changed() <-chan struct{}
 	// DB exposes the read side of the backing time-series store for
 	// range queries. It is an interface, not *tsdb.DB, so a federated
 	// View can answer by fanning queries out to member stores.

@@ -9,15 +9,16 @@ package dashboard
 import (
 	"fmt"
 	"html/template"
-	"math"
 	"net/http"
 	"sort"
+	"time"
 
 	"lorameshmon/internal/alert"
 	"lorameshmon/internal/analysis"
 	"lorameshmon/internal/collector"
+	"lorameshmon/internal/metrics"
 	"lorameshmon/internal/phy"
-	"lorameshmon/internal/tsdb"
+	"lorameshmon/internal/readcache"
 	"lorameshmon/internal/wire"
 )
 
@@ -30,6 +31,21 @@ type Config struct {
 	DownAfterS float64
 	// SF is the network's spreading factor, used for link margins.
 	SF phy.SpreadingFactor
+	// Metrics receives the read path's meshmon_read_* families. Nil gets
+	// a private registry, so two dashboards over one collector (tests,
+	// cache-bypass comparisons) never double-register.
+	Metrics *metrics.Registry
+	// DisableCache turns off the per-panel response cache, re-rendering
+	// every request (the pre-streaming behaviour).
+	DisableCache bool
+	// CacheEntries bounds the response cache (default 512).
+	CacheEntries int
+	// SSEQueue bounds each SSE subscriber's event queue (default 16);
+	// overflow coalesces events rather than stalling the hub.
+	SSEQueue int
+	// StreamTick is the hub's fallback poll interval for changes that
+	// arrive without an ingest, i.e. alert transitions (default 250ms).
+	StreamTick time.Duration
 }
 
 // DefaultConfig titles the dashboard and marks nodes down after 90 s.
@@ -45,6 +61,15 @@ type Server struct {
 	engine *alert.Engine // may be nil
 	cfg    Config
 	tmpl   *template.Template
+	// epoch is the read path's composite invalidation clock: ingest
+	// epoch + alert generation. Panels render collector state AND alert
+	// state, and alert transitions happen on the Check cadence without
+	// an ingest to bump the epoch — folding the generation in keeps the
+	// alerts panel (and overview banner) from caching stale.
+	epoch func() uint64
+	inst  *readcache.Instruments
+	cache *readcache.Cache // nil when DisableCache
+	hub   *streamHub
 }
 
 // New builds a dashboard server. engine may be nil to omit alerts.
@@ -59,13 +84,38 @@ func New(coll collector.View, engine *alert.Engine, cfg Config) *Server {
 	if !cfg.SF.Valid() {
 		cfg.SF = d.SF
 	}
-	return &Server{
+	s := &Server{
 		coll:   coll,
 		engine: engine,
 		cfg:    cfg,
 		tmpl:   template.Must(template.New("dash").Parse(pageTemplates)),
 	}
+	s.epoch = func() uint64 {
+		e := coll.Epoch()
+		if engine != nil {
+			e += engine.Generation()
+		}
+		return e
+	}
+	s.inst = readcache.NewInstruments(cfg.Metrics)
+	if !cfg.DisableCache {
+		s.cache = readcache.New(readcache.Config{
+			Epoch:      s.epoch,
+			MaxEntries: cfg.CacheEntries,
+			Inst:       s.inst,
+		})
+	}
+	s.hub = newStreamHub(coll, engine, s.epoch, s.inst, cfg.SSEQueue, cfg.StreamTick)
+	return s
 }
+
+// Close stops the SSE hub; in-flight subscribers drain their queued
+// deltas and hang up. Call it before shutting the HTTP server down.
+func (s *Server) Close() { s.hub.Close() }
+
+// Epoch exposes the composite invalidation clock (tests, clients
+// priming a long-poll `since`).
+func (s *Server) Epoch() uint64 { return s.epoch() }
 
 // Handler returns the dashboard routes:
 //
@@ -75,16 +125,33 @@ func New(coll collector.View, engine *alert.Engine, cfg Config) *Server {
 //	GET /topology             inferred topology graph (SVG inline)
 //	GET /alerts               active alerts and resolution history
 //	GET /health               server self-observability panel
-//	GET /chart/{metric}.svg   metric chart (query: node, from, to)
+//	GET /chart/{metric}.svg   metric chart (query: node, from, to, width, step, agg)
+//	GET /chart/{metric}.json  same series as JSON (plus ?reduce= scalar pushdown)
+//	GET /events               SSE delta stream (epoch + changed panels)
+//	GET /events/poll          long-poll fallback (query: since, timeout)
+//
+// Panel routes are served through the epoch-keyed response cache
+// unless DisableCache is set. /health is deliberately uncached: it
+// renders live self-metrics (including the cache's own counters),
+// which change on every request. The streaming routes are exempt by
+// nature.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /{$}", s.handleOverview)
-	mux.HandleFunc("GET /node/{id}", s.handleNode)
-	mux.HandleFunc("GET /traffic", s.handleTraffic)
-	mux.HandleFunc("GET /topology", s.handleTopology)
-	mux.HandleFunc("GET /alerts", s.handleAlerts)
+	panel := func(name string, h http.HandlerFunc) http.Handler {
+		if s.cache == nil {
+			return h
+		}
+		return s.cache.Wrap(name, h)
+	}
+	mux.Handle("GET /{$}", panel("overview", s.handleOverview))
+	mux.Handle("GET /node/{id}", panel("node", s.handleNode))
+	mux.Handle("GET /traffic", panel("traffic", s.handleTraffic))
+	mux.Handle("GET /topology", panel("topology", s.handleTopology))
+	mux.Handle("GET /alerts", panel("alerts", s.handleAlerts))
 	mux.HandleFunc("GET /health", s.handleHealth)
-	mux.HandleFunc("GET /chart/{metric}", s.handleChart)
+	mux.Handle("GET /chart/{metric}", panel("chart", http.HandlerFunc(s.handleChart)))
+	mux.HandleFunc("GET /events", s.handleEvents)
+	mux.HandleFunc("GET /events/poll", s.handleEventsPoll)
 	return mux
 }
 
@@ -243,49 +310,21 @@ func (s *Server) handleTopology(w http.ResponseWriter, _ *http.Request) {
 	}{s.cfg.Title, template.HTML(g.Render())})
 }
 
-// handleChart serves `/chart/{metric}.svg?node=N0001&from=&to=`.
-func (s *Server) handleChart(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("metric")
-	if len(name) < 5 || name[len(name)-4:] != ".svg" {
-		http.Error(w, "dashboard: chart path must end in .svg", http.StatusBadRequest)
+// handleChartSVG serves `/chart/{metric}.svg?node=N0001&from=&to=`.
+// Parsing and clamping are shared with the JSON endpoint; see
+// parseChartQuery. Queries run at display resolution — one bucket per
+// pixel column — so the store answers from the coarsest rollup tier
+// that satisfies the step, and charting a week of telemetry reads
+// rollup chunks instead of decoding millions of raw points.
+func (s *Server) handleChartSVG(w http.ResponseWriter, r *http.Request, metric string) {
+	cq, err := parseChartQuery(r.URL.Query(), metric, s.coll.MaxTS())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	metric := name[:len(name)-4]
-	q := r.URL.Query()
-	matcher := tsdb.Labels{}
-	if nodeParam := q.Get("node"); nodeParam != "" {
-		id, err := collector.ParseNodeID(nodeParam)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		matcher["node"] = id.String()
-	}
-	from, to := 0.0, math.MaxFloat64
-	if v := q.Get("from"); v != "" {
-		fmt.Sscanf(v, "%g", &from) //nolint:errcheck // zero on failure is fine
-	}
-	if v := q.Get("to"); v != "" {
-		fmt.Sscanf(v, "%g", &to) //nolint:errcheck
-	}
-	chart := svgLineChart{Title: metric, Width: 640, Height: 240}
-	// Query at display resolution: one bucket per pixel column. The
-	// store answers from the coarsest tier that satisfies the step, so
-	// charting a week of telemetry reads rollup chunks instead of
-	// decoding (or even retaining) millions of raw points.
-	qto := to
-	if qto == math.MaxFloat64 {
-		qto = s.coll.MaxTS()
-	}
-	var results []tsdb.Result
-	if step := (qto - from) / float64(chart.Width); step > 0 {
-		results = s.coll.DB().QueryRange(metric, matcher, from, qto, step, tsdb.AggAvg)
-	} else {
-		results = s.coll.DB().Query(metric, matcher, from, to)
-	}
-	for _, res := range results {
-		label := res.Labels.String()
-		chart.Series = append(chart.Series, chartSeries{Label: label, Points: res.Points})
+	chart := svgLineChart{Title: metric, Width: cq.Width, Height: 240}
+	for _, res := range cq.results(s.coll.DB()) {
+		chart.Series = append(chart.Series, chartSeries{Label: res.Labels.String(), Points: res.Points})
 	}
 	w.Header().Set("Content-Type", "image/svg+xml")
 	fmt.Fprint(w, chart.Render()) //nolint:errcheck

@@ -1,0 +1,167 @@
+package dashboard
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"lorameshmon/internal/alert"
+	"lorameshmon/internal/collector"
+	"lorameshmon/internal/federate"
+	"lorameshmon/internal/readcache"
+	"lorameshmon/internal/tsdb"
+	"lorameshmon/internal/wire"
+)
+
+// equivalenceRoutes is every cacheable panel route with representative
+// query shapes. /health is deliberately absent: it renders live
+// self-metrics (including the cache's own counters) and is served
+// uncached for exactly that reason.
+var equivalenceRoutes = []string{
+	"/",
+	"/node/N0001",
+	"/traffic",
+	"/topology",
+	"/alerts",
+	"/chart/mesh_packet_rssi.svg",
+	"/chart/mesh_packet_rssi.svg?node=N0001",
+	"/chart/mesh_packet_rssi.json",
+	"/chart/mesh_packet_rssi.json?node=N0001&step=5&agg=max",
+	"/chart/mesh_packet_rssi.json?reduce=count",
+	"/chart/node_route_count.json?node=N0001",
+}
+
+// assertEquivalent fetches every panel route from a cached and a
+// cache-bypassing dashboard over the same view and requires
+// byte-identical bodies — fetched twice from the cached server, so
+// both the miss (fresh render through the recorder) and the hit
+// (replayed bytes) are compared against the direct render.
+func assertEquivalent(t *testing.T, cached, bypass *httptest.Server, label string) {
+	t.Helper()
+	for _, route := range equivalenceRoutes {
+		wantCode, wantBody := fetch(t, bypass.URL+route)
+		missCode, missBody := fetch(t, cached.URL+route)
+		hitCode, hitBody := fetch(t, cached.URL+route)
+		if missCode != wantCode || hitCode != wantCode {
+			t.Errorf("%s %s: status cached=%d/%d bypass=%d", label, route, missCode, hitCode, wantCode)
+			continue
+		}
+		if missBody != wantBody {
+			t.Errorf("%s %s: cache-miss body differs from direct render (%d vs %d bytes)",
+				label, route, len(missBody), len(wantBody))
+		}
+		if hitBody != wantBody {
+			t.Errorf("%s %s: cache-hit body differs from direct render (%d vs %d bytes)",
+				label, route, len(hitBody), len(wantBody))
+		}
+	}
+}
+
+// TestCacheEquivalence is the golden contract of the response cache:
+// at any fixed epoch, a cached response is byte-identical to a
+// bypassed render of the same route — before ingest, after ingest
+// (invalidation), and after an alert transition (the composite-epoch
+// half of the clock).
+func TestCacheEquivalence(t *testing.T) {
+	c := seedCollector(t)
+	eng := alert.NewEngine(c, alert.Config{})
+	eng.Check(c.MaxTS()) // node 2 silent → alert fires
+
+	cachedDash := New(c, eng, Config{})
+	defer cachedDash.Close()
+	bypassDash := New(c, eng, Config{DisableCache: true})
+	defer bypassDash.Close()
+	cached := httptest.NewServer(cachedDash.Handler())
+	defer cached.Close()
+	bypass := httptest.NewServer(bypassDash.Handler())
+	defer bypass.Close()
+
+	assertEquivalent(t, cached, bypass, "seeded")
+
+	// Ingest invalidates: the cached server must re-render, and the new
+	// renders must again match the bypass byte-for-byte.
+	if err := c.Ingest(hammerBatch(1, 50)); err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, cached, bypass, "post-ingest")
+
+	// An alert transition without any ingest must also invalidate (the
+	// generation half of the composite epoch): resolving node 2's
+	// node-down alert changes /alerts and the overview banner.
+	if err := c.Ingest(wire.Batch{
+		Node: 2, SeqNo: 2, SentAt: 200,
+		Heartbeats: []wire.Heartbeat{{TS: 200, Node: 2, UptimeS: 10}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before := cachedDash.Epoch()
+	eng.Check(c.MaxTS())
+	if cachedDash.Epoch() == before {
+		t.Fatal("alert resolution did not advance the composite epoch")
+	}
+	assertEquivalent(t, cached, bypass, "post-resolve")
+}
+
+// TestCacheEquivalenceFederated runs the same contract through a
+// federate.View over two member collectors — the cache must key on the
+// federated (summed) epoch and stay correct when only one member
+// ingests.
+func TestCacheEquivalenceFederated(t *testing.T) {
+	a := collector.New(tsdb.New(), collector.DefaultConfig())
+	b := collector.New(tsdb.New(), collector.DefaultConfig())
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := a.Ingest(hammerBatch(1, seq)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Ingest(hammerBatch(2, seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fed, err := federate.NewView([]federate.MemberView{
+		{Name: "a", View: a},
+		{Name: "b", View: b},
+	}, federate.ViewConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cachedDash := New(fed, nil, Config{})
+	defer cachedDash.Close()
+	bypassDash := New(fed, nil, Config{DisableCache: true})
+	defer bypassDash.Close()
+	cached := httptest.NewServer(cachedDash.Handler())
+	defer cached.Close()
+	bypass := httptest.NewServer(bypassDash.Handler())
+	defer bypass.Close()
+
+	assertEquivalent(t, cached, bypass, "federated")
+
+	// One member ingesting must invalidate the federated cache: the sum
+	// of member epochs advances.
+	before := fed.Epoch()
+	if err := b.Ingest(hammerBatch(2, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if fed.Epoch() != before+1 {
+		t.Fatalf("federated epoch = %d after member ingest, want %d", fed.Epoch(), before+1)
+	}
+	assertEquivalent(t, cached, bypass, "federated post-ingest")
+}
+
+// TestCacheServesStampedEpoch: the Meshmon-Epoch header on a cached
+// response must equal the composite epoch the body was rendered at.
+func TestCacheServesStampedEpoch(t *testing.T) {
+	c := seedCollector(t)
+	dash := New(c, nil, Config{})
+	defer dash.Close()
+	srv := httptest.NewServer(dash.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got, want := resp.Header.Get(readcache.EpochHeader), "2"; got != want {
+		t.Fatalf("%s = %q, want %q (two seeded batches)", readcache.EpochHeader, got, want)
+	}
+}

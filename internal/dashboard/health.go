@@ -112,6 +112,26 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if v, ok := counterVal("meshmon_alert_active"); ok {
 		stat("active alerts", "%.0f", v)
 	}
+	// The streaming read path (visible when the dashboard shares this
+	// registry, i.e. Config.Metrics = collector registry).
+	hits, okH := counterVal("meshmon_read_cache_requests_total", "hit")
+	misses, okM := counterVal("meshmon_read_cache_requests_total", "miss")
+	if okH && okM && hits+misses > 0 {
+		statS("panel cache hit rate", fmt.Sprintf("%.1f%% (%.0f/%.0f)",
+			100*hits/(hits+misses), hits, hits+misses))
+	}
+	if v, ok := counterVal("meshmon_read_cache_entries"); ok {
+		stat("panel cache entries", "%.0f", v)
+	}
+	if v, ok := counterVal("meshmon_read_sse_clients"); ok {
+		stat("sse clients", "%.0f", v)
+	}
+	if v, ok := counterVal("meshmon_read_sse_dropped_total"); ok {
+		stat("sse events dropped", "%.0f", v)
+	}
+	if v, ok := counterVal("meshmon_read_delta_bytes_total"); ok {
+		stat("delta bytes sent", "%.0f", v)
+	}
 
 	data.Routes = httpRouteRows(reg)
 	data.Families = familyRows(reg)

@@ -1,13 +1,19 @@
 package dashboard
 
 import (
+	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"lorameshmon/internal/alert"
 	"lorameshmon/internal/analysis"
 	"lorameshmon/internal/collector"
+	"lorameshmon/internal/readcache"
 	"lorameshmon/internal/tsdb"
 	"lorameshmon/internal/wire"
 )
@@ -116,4 +122,150 @@ func TestConcurrentReadersUnderIngest(t *testing.T) {
 	if got := len(view.Nodes()); got != writers {
 		t.Fatalf("Nodes() = %d entries, want %d", got, writers)
 	}
+}
+
+// TestCachedReadsAndSSEUnderIngest is the race hammer for the
+// streaming read path: writers ingest across shards while HTTP readers
+// hit the CACHED panel routes, long-pollers wait on epoch advances and
+// a live SSE subscriber consumes deltas. Run under -race in CI's read
+// stage. Beyond data races, it asserts the no-stale-forever contract:
+// once ingest stops, every cached panel serves the final composite
+// epoch, and the SSE subscriber observes it too (via deltas or a
+// post-overflow resync).
+func TestCachedReadsAndSSEUnderIngest(t *testing.T) {
+	cfg := collector.DefaultConfig()
+	cfg.Shards = 8
+	cfg.RecentPackets = 64
+	c := collector.New(tsdb.New(), cfg)
+	var view collector.View = c
+
+	eng := alert.NewEngine(view, alert.Config{})
+	// Small SSE queue so overflow/resync paths run under the hammer.
+	dash := New(view, eng, Config{SSEQueue: 2, StreamTick: 5 * time.Millisecond})
+	srv := httptest.NewServer(dash.Handler())
+	defer srv.Close()
+	defer dash.Close()
+
+	const (
+		writers   = 6
+		perWriter = 100
+		readPass  = 30
+	)
+	var wg sync.WaitGroup
+
+	// SSE subscriber: consume deltas for the whole run, tracking the
+	// newest epoch observed. Started before the writers so it sees the
+	// stream from (nearly) the beginning.
+	var sseEpoch atomic.Uint64
+	sseDone := make(chan struct{})
+	cl := dialSSE(t, srv.URL)
+	go func() {
+		defer close(sseDone)
+		for {
+			ev, err := cl.next()
+			if err != nil {
+				return // stream ended (client cancelled at test end)
+			}
+			if e := ev.Data.Epoch; e > sseEpoch.Load() {
+				sseEpoch.Store(e)
+			}
+		}
+	}()
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(node wire.NodeID) {
+			defer wg.Done()
+			for seq := uint64(1); seq <= perWriter; seq++ {
+				if err := c.Ingest(hammerBatch(node, seq)); err != nil {
+					t.Errorf("ingest node %d seq %d: %v", node, seq, err)
+					return
+				}
+			}
+		}(wire.NodeID(w + 1))
+	}
+
+	// Readers over the cached routes (hits, misses and invalidations
+	// interleave with the writers above).
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			routes := []string{"/", "/traffic", "/topology", "/alerts", "/node/N0001",
+				"/chart/mesh_packet_rssi.json", "/health"}
+			for i := 0; i < readPass; i++ {
+				for _, r := range routes {
+					if code, _ := fetch(t, srv.URL+r); code >= 500 {
+						t.Errorf("GET %s = %d under concurrent ingest", r, code)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Long-pollers riding the epoch forward.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		since := uint64(0)
+		for i := 0; i < readPass; i++ {
+			code, body := fetch(t, srv.URL+fmt.Sprintf("/events/poll?since=%d&timeout=0.2", since))
+			switch code {
+			case http.StatusOK:
+				since++ // epochs only grow; stepping slowly keeps polls answering
+			case http.StatusNoContent:
+			default:
+				t.Errorf("poll = %d", code)
+				return
+			}
+			_ = body
+		}
+	}()
+
+	// Alert evaluator, as wired in production.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < readPass; i++ {
+			eng.Check(view.MaxTS())
+		}
+	}()
+
+	wg.Wait()
+
+	if s := view.Stats(); s.BatchesIngested != writers*perWriter {
+		t.Fatalf("BatchesIngested = %d, want %d", s.BatchesIngested, writers*perWriter)
+	}
+
+	// No stale-forever panels: with ingest stopped, every cached route
+	// must serve the final composite epoch on the next fetch.
+	final := dash.Epoch()
+	if got := view.Epoch(); got != writers*perWriter {
+		t.Fatalf("ingest epoch = %d, want %d", got, writers*perWriter)
+	}
+	for _, route := range []string{"/", "/traffic", "/topology", "/alerts"} {
+		resp, err := srv.Client().Get(srv.URL + route)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		got, err := strconv.ParseUint(resp.Header.Get(readcache.EpochHeader), 10, 64)
+		if err != nil || got != final {
+			t.Fatalf("%s served epoch %q, want %d", route, resp.Header.Get(readcache.EpochHeader), final)
+		}
+	}
+
+	// The SSE subscriber converges on the final epoch too — through
+	// ordinary deltas, or a resync if its 2-slot queue overflowed.
+	deadline := time.After(5 * time.Second)
+	for sseEpoch.Load() < final {
+		select {
+		case <-deadline:
+			t.Fatalf("SSE subscriber stuck at epoch %d, final is %d", sseEpoch.Load(), final)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	cl.close()
+	<-sseDone
 }

@@ -1,0 +1,342 @@
+package dashboard
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"lorameshmon/internal/alert"
+	"lorameshmon/internal/collector"
+	"lorameshmon/internal/readcache"
+)
+
+// delta is one streamed update: the composite epoch (ingest epoch +
+// alert generation) the server state reached, "now" in record time,
+// and which panels changed since the last event. A Resync delta means
+// the subscriber's queue overflowed and intermediate events were
+// coalesced away — the epoch is current, but re-fetch every panel.
+type delta struct {
+	Epoch  uint64   `json:"epoch"`
+	MaxTS  float64  `json:"max_ts"`
+	Panels []string `json:"panels,omitempty"`
+	Resync bool     `json:"resync,omitempty"`
+}
+
+// fingerprint is the hub's cheap change detector: one snapshot per
+// wake, diffed field-by-field to name the panels that changed. All
+// fields are O(1) or O(nodes) reads — no rendering.
+type fingerprint struct {
+	epoch   uint64 // ingest epoch → overview, node, chart panels
+	records uint64 // records ingested → traffic panel
+	nodes   int    // registry size → topology panel
+	links   int    // observed links → topology panel
+	gen     uint64 // alert generation → alerts (and overview banner)
+}
+
+// subscriber is one connected SSE client. Queue sends are non-blocking:
+// a full queue marks the subscriber lost instead of stalling the hub,
+// and the hub offers a resync delta once the queue has space again —
+// so a slow client can miss intermediate epochs but never the final
+// one.
+type subscriber struct {
+	ch   chan delta
+	lost bool // guarded by hub.mu
+}
+
+// streamHub fans state-change deltas out to SSE subscribers. One
+// goroutine watches the view's Changed channel (plus a ticker, for
+// alert transitions that happen without ingest), fingerprints the
+// state, and broadcasts the diff.
+type streamHub struct {
+	view   collector.View
+	engine *alert.Engine // may be nil
+	epoch  func() uint64 // composite clock, shared with the cache
+	inst   *readcache.Instruments
+	queue  int
+	tick   time.Duration
+
+	start  sync.Once
+	done   chan struct{}
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	subs   map[*subscriber]struct{}
+	closed bool
+}
+
+func newStreamHub(view collector.View, engine *alert.Engine, epoch func() uint64, inst *readcache.Instruments, queue int, tick time.Duration) *streamHub {
+	if queue <= 0 {
+		queue = 16
+	}
+	if tick <= 0 {
+		tick = 250 * time.Millisecond
+	}
+	return &streamHub{
+		view:   view,
+		engine: engine,
+		epoch:  epoch,
+		inst:   inst,
+		queue:  queue,
+		tick:   tick,
+		done:   make(chan struct{}),
+		subs:   make(map[*subscriber]struct{}),
+	}
+}
+
+func (h *streamHub) snapshot() fingerprint {
+	fp := fingerprint{
+		epoch:   h.view.Epoch(),
+		records: h.view.Stats().RecordsIngested,
+		nodes:   len(h.view.Nodes()),
+		links:   len(h.view.Links(0)),
+	}
+	if h.engine != nil {
+		fp.gen = h.engine.Generation()
+	}
+	return fp
+}
+
+// diff names the panels whose backing state changed between a and b.
+func diff(a, b fingerprint) []string {
+	var panels []string
+	if a.epoch != b.epoch || a.gen != b.gen {
+		panels = append(panels, "overview")
+	}
+	if a.epoch != b.epoch {
+		panels = append(panels, "node", "chart")
+	}
+	if a.records != b.records {
+		panels = append(panels, "traffic")
+	}
+	if a.nodes != b.nodes || a.links != b.links {
+		panels = append(panels, "topology")
+	}
+	if a.gen != b.gen {
+		panels = append(panels, "alerts")
+	}
+	return panels
+}
+
+// run is the hub's watch loop. The Changed channel gives an immediate
+// wake on ingest; the ticker catches alert engine transitions, which
+// happen on the Check cadence without any ingest to signal them.
+func (h *streamHub) run() {
+	defer h.wg.Done()
+	last := h.snapshot()
+	ticker := time.NewTicker(h.tick)
+	defer ticker.Stop()
+	for {
+		// Channel first, then compare — the lost-wakeup-safe pattern
+		// documented on View.Changed.
+		ch := h.view.Changed()
+		cur := h.snapshot()
+		if cur != last {
+			h.broadcast(delta{
+				Epoch:  cur.epoch + cur.gen,
+				MaxTS:  h.view.MaxTS(),
+				Panels: diff(last, cur),
+			})
+			last = cur
+			continue
+		}
+		h.offerResync(cur)
+		select {
+		case <-h.done:
+			return
+		case <-ch:
+		case <-ticker.C:
+		}
+	}
+}
+
+// broadcast enqueues d for every subscriber; a full queue marks the
+// subscriber lost (the event is dropped, not the client).
+func (h *streamHub) broadcast(d delta) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for sub := range h.subs {
+		if sub.lost {
+			// Still behind; the pending resync will cover this change.
+			h.inst.SSEDropped.Inc()
+			continue
+		}
+		select {
+		case sub.ch <- d:
+		default:
+			sub.lost = true
+			h.inst.SSEDropped.Inc()
+		}
+	}
+}
+
+// offerResync hands lost subscribers a fresh resync delta once their
+// queue has drained. Called on every hub wake (so at worst one tick
+// after the drain), which is what guarantees no subscriber stays
+// stale forever.
+func (h *streamHub) offerResync(cur fingerprint) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for sub := range h.subs {
+		if !sub.lost {
+			continue
+		}
+		select {
+		case sub.ch <- delta{Epoch: cur.epoch + cur.gen, MaxTS: h.view.MaxTS(), Resync: true}:
+			sub.lost = false
+		default:
+		}
+	}
+}
+
+// subscribe registers a client and lazily starts the watch loop.
+func (h *streamHub) subscribe() (*subscriber, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, false
+	}
+	h.start.Do(func() {
+		h.wg.Add(1)
+		go h.run()
+	})
+	sub := &subscriber{ch: make(chan delta, h.queue)}
+	h.subs[sub] = struct{}{}
+	h.inst.SSEClients.Set(float64(len(h.subs)))
+	return sub, true
+}
+
+func (h *streamHub) unsubscribe(sub *subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.subs, sub)
+	h.inst.SSEClients.Set(float64(len(h.subs)))
+}
+
+// Close stops the watch loop and releases subscribers: handlers see
+// done, drain whatever is already queued, and return, so an in-flight
+// client gets every delta the hub managed to enqueue before shutdown.
+func (h *streamHub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	h.mu.Unlock()
+	close(h.done)
+	h.wg.Wait()
+}
+
+// handleEvents serves `GET /events`: an SSE stream of delta events.
+// The first event (`event: epoch`) carries the current composite
+// epoch so the client knows its baseline; each subsequent `event:
+// delta` names the changed panels. Slow clients are never blocked on:
+// their queue overflows, intermediate deltas coalesce and a resync
+// delta follows (see subscriber).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "dashboard: streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	sub, ok := s.hub.subscribe()
+	if !ok {
+		http.Error(w, "dashboard: shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	defer s.hub.unsubscribe(sub)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	s.writeEvent(w, "epoch", delta{Epoch: s.epoch(), MaxTS: s.coll.MaxTS()})
+	flusher.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.hub.done:
+			// Graceful shutdown: drain what's queued, then hang up.
+			for {
+				select {
+				case d := <-sub.ch:
+					s.writeEvent(w, "delta", d)
+				default:
+					flusher.Flush()
+					return
+				}
+			}
+		case d := <-sub.ch:
+			s.writeEvent(w, "delta", d)
+			flusher.Flush()
+		}
+	}
+}
+
+// writeEvent emits one SSE frame and accounts its payload bytes.
+func (s *Server) writeEvent(w http.ResponseWriter, event string, d delta) {
+	payload, err := json.Marshal(d)
+	if err != nil {
+		return
+	}
+	n, _ := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, payload)
+	s.inst.SSEEvents.Inc()
+	s.inst.DeltaBytes.Add(float64(n))
+}
+
+// handleEventsPoll serves `GET /events/poll?since=N&timeout=S` — the
+// long-poll fallback for clients that can't hold an SSE stream. It
+// answers 200 with a delta as soon as the composite epoch exceeds
+// `since` (immediately, if it already does) and 204 after `timeout`
+// seconds without an advance. Wakes ride the view's Changed channel,
+// so an ingest answers pending polls at once; alert-only transitions
+// surface at the timeout.
+func (s *Server) handleEventsPoll(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var since uint64
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("dashboard: bad since %q", v), http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	timeout := 25.0
+	if v := q.Get("timeout"); v != "" {
+		t, err := strconv.ParseFloat(v, 64)
+		if err != nil || math.IsNaN(t) || t < 0 {
+			http.Error(w, fmt.Sprintf("dashboard: bad timeout %q", v), http.StatusBadRequest)
+			return
+		}
+		timeout = math.Min(t, 60)
+	}
+	deadline := time.NewTimer(time.Duration(timeout * float64(time.Second)))
+	defer deadline.Stop()
+	for {
+		// Channel first, then compare (see View.Changed).
+		ch := s.coll.Changed()
+		if e := s.epoch(); e > since {
+			d := delta{Epoch: e, MaxTS: s.coll.MaxTS()}
+			payload, _ := json.Marshal(d)
+			w.Header().Set("Content-Type", "application/json")
+			n, _ := w.Write(append(payload, '\n'))
+			s.inst.PollChanged.Inc()
+			s.inst.DeltaBytes.Add(float64(n))
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.hub.done:
+			w.WriteHeader(http.StatusNoContent)
+			return
+		case <-deadline.C:
+			s.inst.PollTimeout.Inc()
+			w.WriteHeader(http.StatusNoContent)
+			return
+		case <-ch:
+		}
+	}
+}

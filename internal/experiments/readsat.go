@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"net/http/httptest"
+	"runtime"
+	"time"
+
+	"lorameshmon/internal/collector"
+	"lorameshmon/internal/dashboard"
+	"lorameshmon/internal/loadgen"
+	"lorameshmon/internal/metrics"
+	"lorameshmon/internal/tsdb"
+	"lorameshmon/internal/wire"
+)
+
+// T10ReadSaturation asks the question the streaming read path exists to
+// answer: how many concurrent dashboard watchers can one collector
+// carry? It drives the read-side load generator against two dashboards
+// over identical collector state — one rendering every request
+// (DisableCache, the pre-streaming behaviour) and one serving through
+// the epoch-keyed panel cache — at increasing client counts, while a
+// live ingest trickle keeps invalidating the cache the way a real mesh
+// would. The verdict compares the cached p99 at 10x the clients
+// against the render-per-request p99 at the reference level.
+func T10ReadSaturation() Table {
+	t := Table{
+		ID:      "T10",
+		Title:   "Dashboard read saturation: per-request render vs epoch-keyed cache (live ingest trickle, this machine)",
+		Columns: []string{"mode", "clients", "achieved (req/s)", "p50", "p99", "cache hit rate"},
+	}
+	const (
+		baseClients = 8
+		requests    = 1200
+	)
+	levels := []int{baseClients, 10 * baseClients}
+
+	var basePeak, cachedPeak float64
+	var baseRefP99, cachedHighP99 float64
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"render-per-request", true},
+		{"cached", false},
+	} {
+		for _, clients := range levels {
+			r := runReadLevel(mode.disable, clients, requests)
+			t.AddRow(mode.name, d(clients), f1(r.achieved),
+				fmtLatency(r.p50), fmtLatency(r.p99), r.hitRate)
+			if mode.disable {
+				basePeak = max(basePeak, r.achieved)
+				if clients == baseClients {
+					baseRefP99 = r.p99
+				}
+			} else {
+				cachedPeak = max(cachedPeak, r.achieved)
+				if clients == 10*baseClients {
+					cachedHighP99 = r.p99
+				}
+			}
+		}
+	}
+	switch {
+	case baseRefP99 <= 0 || cachedHighP99 <= 0:
+		t.Note("quantiles unavailable; no verdict")
+	case cachedHighP99 <= baseRefP99:
+		t.Note("cached dashboard sustains 10x the concurrent clients (%d vs %d) at equal-or-better p99 (%s vs %s)",
+			10*baseClients, baseClients, fmtLatency(cachedHighP99), fmtLatency(baseRefP99))
+	default:
+		t.Note("at 10x clients the cached p99 (%s) exceeds the baseline reference p99 (%s) — ratio %.1fx; see the hardware note",
+			fmtLatency(cachedHighP99), fmtLatency(baseRefP99), cachedHighP99/baseRefP99)
+	}
+	if basePeak > 0 {
+		t.Note("peak read throughput %.0f req/s cached vs %.0f req/s render-per-request (%.1fx)",
+			cachedPeak, basePeak, cachedPeak/basePeak)
+	}
+	t.Note("ingest trickle of ~50 batches/s invalidates the cache throughout; GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
+	return t
+}
+
+type readLevelResult struct {
+	achieved float64
+	p50, p99 float64 // seconds
+	hitRate  string
+}
+
+// runReadLevel runs one (mode, clients) level: a freshly seeded
+// collector, a dashboard over it, an ingest trickle goroutine, and the
+// read generator fetching the default panel mix unpaced.
+func runReadLevel(disableCache bool, clients, requests int) readLevelResult {
+	reg := metrics.NewRegistry()
+	c := collector.New(tsdb.New(), collector.Config{
+		Metrics: reg,
+		Shards:  runtime.GOMAXPROCS(0),
+	})
+	// Seed: 40 reporting intervals from an 8-node mesh, so every panel
+	// and chart has real content to render.
+	const nodes = 8
+	var seqs [nodes + 1]uint64
+	ts := 0.0
+	seedBatch := func(n int) {
+		seqs[n]++
+		ts += 0.05
+		b := loadgen.MakeBatch(wire.NodeID(n), seqs[n], 16, ts)
+		if err := c.Ingest(b); err != nil {
+			panic("experiments: T10 seed ingest: " + err.Error())
+		}
+	}
+	for i := 0; i < 40; i++ {
+		for n := 1; n <= nodes; n++ {
+			seedBatch(n)
+		}
+	}
+
+	dash := dashboard.New(c, nil, dashboard.Config{
+		Metrics:      reg,
+		DisableCache: disableCache,
+	})
+	defer dash.Close()
+	srv := httptest.NewServer(dash.Handler())
+	defer srv.Close()
+
+	// Live ingest trickle: one batch every 20ms (~50 epochs/s), so the
+	// cache is continuously invalidated while the readers hammer it —
+	// the honest steady state, not a frozen snapshot.
+	stop := make(chan struct{})
+	trickleDone := make(chan struct{})
+	go func() {
+		defer close(trickleDone)
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		n := 1
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				seedBatch(n)
+				n = n%nodes + 1
+			}
+		}
+	}()
+
+	res := loadgen.RunRead(loadgen.ReadConfig{
+		BaseURL:  srv.URL,
+		Clients:  clients,
+		Requests: requests,
+	})
+	close(stop)
+	<-trickleDone
+
+	out := readLevelResult{
+		achieved: res.RequestsPerSec(),
+		p50:      res.Quantile(0.5).Seconds(),
+		p99:      res.Quantile(0.99).Seconds(),
+		hitRate:  "-",
+	}
+	if fam, ok := reg.Family("meshmon_read_cache_requests_total"); ok {
+		var hits, misses float64
+		for _, smp := range fam.Samples {
+			if len(smp.LabelValues) != 1 {
+				continue
+			}
+			switch smp.LabelValues[0] {
+			case "hit":
+				hits = smp.Value
+			case "miss":
+				misses = smp.Value
+			}
+		}
+		if hits+misses > 0 {
+			out.hitRate = pct(hits / (hits + misses))
+		}
+	}
+	return out
+}

@@ -40,6 +40,7 @@ func All() []Experiment {
 		{"T7", "crash-recovery", T7CrashRecovery},
 		{"T8", "parallel-ingest", T8ParallelIngest},
 		{"T9", "federation", T9Federation},
+		{"T10", "read-saturation", T10ReadSaturation},
 		{"S1", "scale", S1Scale},
 		{"A1", "ablation-batching", AblationBatching},
 		{"A2", "ablation-drop-policy", AblationDropPolicy},

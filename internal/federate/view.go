@@ -46,6 +46,15 @@ type View struct {
 	fanout  *metrics.HistogramVec // op
 	reg     *metrics.Registry
 	obs     map[string]*metrics.Histogram
+
+	// watch is the federated change notifier: one persistent goroutine
+	// per member (started lazily on the first Changed call) waits on
+	// that member's Changed channel and rolls the view's own broadcast
+	// channel forward, so a dashboard's SSE hub sees one channel no
+	// matter how many collectors back the view.
+	watchOnce sync.Once
+	watchMu   sync.Mutex
+	watchCh   chan struct{}
 }
 
 var _ collector.View = (*View)(nil)
@@ -283,6 +292,55 @@ func (v *View) MaxTS() float64 {
 		}
 	}
 	return out
+}
+
+// Epoch sums the members' ingest epochs. Each member's epoch is
+// monotone, so the sum is too; any accepted batch anywhere in the
+// federation advances it, which is exactly the invalidation contract
+// the read cache needs.
+func (v *View) Epoch() uint64 {
+	parts := make([]uint64, len(v.members))
+	v.fan("stats", func(i int, m MemberView) { parts[i] = m.View.Epoch() })
+	var sum uint64
+	for _, p := range parts {
+		sum += p
+	}
+	return sum
+}
+
+// Changed returns a channel closed the next time any member's epoch
+// advances. The first call starts one watcher goroutine per member;
+// they live for the view's lifetime and re-arm themselves, so repeated
+// Changed calls are cheap (a mutex and a channel read).
+func (v *View) Changed() <-chan struct{} {
+	v.watchOnce.Do(func() {
+		v.watchCh = make(chan struct{})
+		for _, m := range v.members {
+			go func(mv MemberView) {
+				// Obtain the channel before reading the epoch: a bump
+				// that lands after the epoch read closes the channel we
+				// already hold, and one that landed before shows up in
+				// the epoch re-check — no advance is ever missed.
+				var last uint64
+				for {
+					ch := mv.View.Changed()
+					if e := mv.View.Epoch(); e != last {
+						last = e
+						v.watchMu.Lock()
+						rolled := v.watchCh
+						v.watchCh = make(chan struct{})
+						v.watchMu.Unlock()
+						close(rolled)
+						continue
+					}
+					<-ch
+				}
+			}(m)
+		}
+	})
+	v.watchMu.Lock()
+	defer v.watchMu.Unlock()
+	return v.watchCh
 }
 
 // DB returns the federated querier: the same tsdb read interface,

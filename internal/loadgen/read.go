@@ -1,0 +1,159 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The read half of the generator: where Run offers ingest batches,
+// RunRead offers dashboard page fetches — the workload that the
+// streaming read path (response cache + SSE deltas) exists to absorb.
+// It is shared by cmd/meshmon-loadgen's -read mode and the T10
+// read-saturation experiment, so both report capacity for the same
+// client shape.
+
+// DefaultReadPaths is the panel mix one watching operator generates:
+// mostly overview refreshes, with traffic/topology/alerts and a chart
+// mixed in.
+var DefaultReadPaths = []string{
+	"/", "/", "/", "/traffic", "/topology", "/alerts",
+	"/chart/mesh_packet_rssi.json",
+}
+
+// ReadConfig describes one read-load run.
+type ReadConfig struct {
+	// BaseURL roots every request, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Paths is the request mix, visited round-robin (nil =
+	// DefaultReadPaths).
+	Paths []string
+	// Clients is the number of concurrent readers.
+	Clients int
+	// Requests is the total fetch count across all clients.
+	Requests int
+	// Rate is the offered requests/s, paced open-loop exactly like the
+	// ingest generator; 0 = unpaced.
+	Rate float64
+	// Client overrides the HTTP client (tests; pooled transports).
+	Client *http.Client
+
+	// OnError, when set, is called for each failed fetch.
+	OnError func(req uint64, err error)
+}
+
+// ReadResult reports what a read run achieved, including the client-
+// observed latency distribution (microsecond resolution).
+type ReadResult struct {
+	Done      uint64
+	Failed    uint64
+	Bytes     uint64
+	Elapsed   time.Duration
+	latencies []time.Duration
+}
+
+// RequestsPerSec is the achieved read throughput, successes only.
+func (r ReadResult) RequestsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Done) / r.Elapsed.Seconds()
+}
+
+// Quantile returns the q-th latency quantile over successful fetches.
+func (r ReadResult) Quantile(q float64) time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(r.latencies)-1))
+	return r.latencies[idx]
+}
+
+// RunRead drives cfg.Requests page fetches through cfg.Clients
+// concurrent readers against BaseURL, open-loop paced like Run: fetch
+// i is released at start + i/Rate no matter how long earlier fetches
+// took, so a saturated server sees queueing, not a throttled
+// generator. A non-2xx status counts as failed.
+func RunRead(cfg ReadConfig) ReadResult {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	paths := cfg.Paths
+	if len(paths) == 0 {
+		paths = DefaultReadPaths
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+
+	var done, failed, bytes atomic.Uint64
+	var next atomic.Uint64
+	perClient := make([][]time.Duration, cfg.Clients)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i > uint64(cfg.Requests) {
+					return
+				}
+				if cfg.Rate > 0 {
+					release := start.Add(time.Duration(float64(i-1) / cfg.Rate * float64(time.Second)))
+					if d := time.Until(release); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				url := cfg.BaseURL + paths[int(i)%len(paths)]
+				t0 := time.Now()
+				n, err := fetchOne(client, url)
+				if err != nil {
+					failed.Add(1)
+					if cfg.OnError != nil {
+						cfg.OnError(i, err)
+					}
+					continue
+				}
+				perClient[w] = append(perClient[w], time.Since(t0))
+				done.Add(1)
+				bytes.Add(uint64(n))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := ReadResult{
+		Done: done.Load(), Failed: failed.Load(), Bytes: bytes.Load(),
+		Elapsed: time.Since(start),
+	}
+	for _, ls := range perClient {
+		res.latencies = append(res.latencies, ls...)
+	}
+	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
+	return res
+}
+
+// fetchOne GETs url and discards the body, returning its size.
+func fetchOne(client *http.Client, url string) (int64, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		return n, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return n, fmt.Errorf("loadgen: %s: status %d", url, resp.StatusCode)
+	}
+	return n, nil
+}

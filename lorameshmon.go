@@ -118,6 +118,11 @@ func NewWithOptions(spec Spec, opts Options) (*System, error) {
 	if dcfg.SF == 0 {
 		dcfg.SF = spec.Phy.SF
 	}
+	if dcfg.Metrics == nil {
+		// One registry for the whole system: meshmon_read_* lands next
+		// to the ingest and tsdb families.
+		dcfg.Metrics = coll.Metrics()
+	}
 	sys := &System{
 		Spec:       spec,
 		Deployment: dep,

@@ -8,7 +8,8 @@
 #   scripts/ci.sh recover   # crash-safety suite (WAL, dedup, recovery) under -race
 #   scripts/ci.sh federate  # federation suite (ring, router, view, handoff) under -race
 #   scripts/ci.sh scale     # spatial-index suite (grid vs brute, reindex, mobility)
-#   scripts/ci.sh fuzz      # bounded fuzzing of the chunk codec round-trip
+#   scripts/ci.sh read      # streaming read path (cache equivalence, SSE, long-poll) under -race
+#   scripts/ci.sh fuzz      # bounded fuzzing: chunk codec round-trip + chart query parser
 #   scripts/ci.sh bench     # perf harness -> BENCH_NEW.json
 #   scripts/ci.sh compare   # perf gate vs committed BENCH_1.json
 #   scripts/ci.sh all       # everything, in order (the default)
@@ -79,6 +80,21 @@ stage_scale() {
     ./internal/scenario
 }
 
+stage_read() {
+  echo "== streaming read-path suite =="
+  # The read-side guarantees run again by name, mirroring the recover
+  # and federate stages: cache/bypass byte-equivalence at every epoch
+  # (including through a federated view), the SSE protocol contract
+  # (one delta per ingest, slow-client drop + resync, shutdown drain),
+  # long-poll semantics, and the cached-panel race hammer. Writers,
+  # HTTP readers and the SSE hub all share state, so -race is
+  # load-bearing here.
+  go test -race -count=1 ./internal/readcache
+  go test -race -count=1 \
+    -run 'CacheEquivalence|CacheServesStampedEpoch|SSE|LongPoll|CachedReadsAndSSEUnderIngest|ChartQuery|ChartJSON' \
+    ./internal/dashboard
+}
+
 stage_fuzz() {
   echo "== bounded fuzz: chunk codec round-trip =="
   # 20 seconds of coverage-guided input generation on the compression
@@ -86,6 +102,12 @@ stage_fuzz() {
   # finds land in testdata/ when reproduced locally.
   go test -fuzz='^FuzzChunkRoundTrip$' -fuzztime=20s -run '^FuzzChunkRoundTrip$' \
     ./internal/tsdb
+  echo "== bounded fuzz: chart query parser =="
+  # Same budget for the dashboard's query parser: every accepted parse
+  # must satisfy the clamping invariants (ordered range, bounded width
+  # and bucket count, known aggregator).
+  go test -fuzz='^FuzzParseChartQuery$' -fuzztime=20s -run '^FuzzParseChartQuery$' \
+    ./internal/dashboard
 }
 
 stage_bench() {
@@ -110,6 +132,7 @@ case "${1:-all}" in
   recover)  stage_recover ;;
   federate) stage_federate ;;
   scale)    stage_scale ;;
+  read)     stage_read ;;
   fuzz)     stage_fuzz ;;
   bench)    stage_bench ;;
   compare)  stage_compare ;;
@@ -120,13 +143,14 @@ case "${1:-all}" in
     stage_recover
     stage_federate
     stage_scale
+    stage_read
     stage_fuzz
     stage_bench
     stage_compare
     echo "CI OK"
     ;;
   *)
-    echo "usage: scripts/ci.sh [vet|build|test|recover|federate|scale|fuzz|bench|compare|all]" >&2
+    echo "usage: scripts/ci.sh [vet|build|test|recover|federate|scale|read|fuzz|bench|compare|all]" >&2
     exit 2
     ;;
 esac
