@@ -66,6 +66,15 @@ func (m *Metrics) forNode(id wire.NodeID) *agentInstruments {
 	}
 }
 
+// EnergyProbe exposes a node's battery state for telemetry sampling.
+// Declared here (not in internal/energy) so the agent stays independent
+// of the battery model; *energy.Account implements it.
+type EnergyProbe interface {
+	BatteryFraction() float64
+	BatteryVoltageV() float64
+	HarvestW() float64
+}
+
 // Config tunes the monitoring client. Zero fields take defaults.
 type Config struct {
 	// ReportInterval is the upload cadence.
@@ -94,6 +103,10 @@ type Config struct {
 	DisablePacketCapture bool
 	// Firmware is reported in heartbeats.
 	Firmware string
+	// Energy, when non-nil, is sampled into every NodeStats record
+	// (battery fraction, voltage, harvest rate). Nil means the node has
+	// no battery model and stats ship without energy fields.
+	Energy EnergyProbe
 	// Metrics, when non-nil, records the agent's upload health (batches,
 	// retries, backoff, buffer depth) labeled by node. Share one Metrics
 	// across a fleet.
@@ -333,7 +346,7 @@ func (a *Agent) recordStats() {
 	c := a.router.Counters()
 	rc := a.router.Radio().Counters()
 	lim := a.router.Radio().Limiter()
-	a.push(record{stats: &wire.NodeStats{
+	st := &wire.NodeStats{
 		TS:      a.now(),
 		Node:    a.node,
 		UptimeS: a.sim.Now().Sub(a.started).Seconds(),
@@ -365,7 +378,14 @@ func (a *Agent) recordStats() {
 		DutyBlocked:    lim.Blocked(),
 		RxMissWeak:     rc.MissWeak,
 		RxMissCollided: rc.MissCollision,
-	}})
+	}
+	if p := a.cfg.Energy; p != nil {
+		st.Energy = true
+		st.BatteryFrac = p.BatteryFraction()
+		st.BatteryV = p.BatteryVoltageV()
+		st.HarvestW = p.HarvestW()
+	}
+	a.push(record{stats: st})
 }
 
 func (a *Agent) recordRoutes() {

@@ -27,6 +27,7 @@ const (
 	KindNodeDown   Kind = "node-down"
 	KindDutyCycle  Kind = "duty-cycle-pressure"
 	KindUploadLoss Kind = "upload-loss"
+	KindLowBattery Kind = "low-battery"
 )
 
 // Severity orders alerts for display.
@@ -76,17 +77,25 @@ type Config struct {
 	// LossWarnBatches fires upload-loss when a node's lost-batch count
 	// grows past this threshold.
 	LossWarnBatches uint64
+	// LowBatteryFrac fires low-battery when a node's reported state of
+	// charge drops to or below this fraction. It sits well above the
+	// firmware's shutdown threshold so the warning lands while the node
+	// is still talking — the point of battery monitoring is to flag the
+	// death before the silence. Nodes that report no energy fields
+	// (mains powered) never trigger it.
+	LowBatteryFrac float64
 }
 
 // DefaultConfig matches the default agent (30 s heartbeats): down after
 // 90 s of silence, duty warning at 80% of the EU868 limit, upload-loss
-// warning after 3 lost batches.
+// warning after 3 lost batches, low-battery warning at 20% charge.
 func DefaultConfig() Config {
 	return Config{
 		HeartbeatTimeoutS: 90,
 		DutyWarnFraction:  0.8,
 		DutyLimit:         0.01,
 		LossWarnBatches:   3,
+		LowBatteryFrac:    0.2,
 	}
 }
 
@@ -161,6 +170,9 @@ func NewEngine(coll collector.View, cfg Config) *Engine {
 	if cfg.LossWarnBatches == 0 {
 		cfg.LossWarnBatches = d.LossWarnBatches
 	}
+	if cfg.LowBatteryFrac <= 0 || cfg.LowBatteryFrac > 1 {
+		cfg.LowBatteryFrac = d.LowBatteryFrac
+	}
 	return &Engine{
 		coll:     coll,
 		cfg:      cfg,
@@ -217,6 +229,7 @@ func (e *Engine) Check(now float64) []Alert {
 	fired = append(fired, e.checkNodeDown(now)...)
 	fired = append(fired, e.checkDutyCycle(now)...)
 	fired = append(fired, e.checkUploadLoss(now)...)
+	fired = append(fired, e.checkLowBattery(now)...)
 	if e.inst != nil {
 		e.inst.evaluations.Inc()
 		e.inst.active.Set(float64(len(e.active)))
@@ -292,6 +305,32 @@ func (e *Engine) checkDutyCycle(now float64) []Alert {
 			})
 			fired = append(fired, *a)
 		case !over:
+			e.resolve(key, now)
+		}
+	}
+	return fired
+}
+
+func (e *Engine) checkLowBattery(now float64) []Alert {
+	var fired []Alert
+	for _, n := range e.coll.Nodes() {
+		if n.LastStats == nil || !n.LastStats.Energy {
+			continue
+		}
+		key := alertKey{kind: KindLowBattery, node: n.ID}
+		low := n.LastStats.BatteryFrac <= e.cfg.LowBatteryFrac
+		switch {
+		case low && e.active[key] == nil:
+			a := e.fire(key, Alert{
+				Kind: KindLowBattery, Node: n.ID, Severity: SeverityWarning,
+				FiredAt: now,
+				Message: fmt.Sprintf("%v battery at %.0f%% (%.2f V), below the %.0f%% warning level",
+					n.ID, 100*n.LastStats.BatteryFrac, n.LastStats.BatteryV,
+					100*e.cfg.LowBatteryFrac),
+			})
+			fired = append(fired, *a)
+		case !low:
+			// A recharge (solar recovery) resolves the alert.
 			e.resolve(key, now)
 		}
 	}

@@ -1,0 +1,68 @@
+package alert
+
+import (
+	"testing"
+
+	"lorameshmon/internal/wire"
+)
+
+func batteryStats(c interface {
+	Ingest(wire.Batch) error
+}, node wire.NodeID, seq uint64, ts, frac float64) {
+	c.Ingest(wire.Batch{Node: node, SeqNo: seq, SentAt: ts,
+		Stats: []wire.NodeStats{{TS: ts, Node: node,
+			Energy: true, BatteryFrac: frac, BatteryV: 3.0 + 1.2*frac}}})
+}
+
+func TestLowBatteryFiresAndResolvesOnRecharge(t *testing.T) {
+	c := newColl()
+	batteryStats(c, 1, 1, 10, 0.8)
+	e := NewEngine(c, Config{HeartbeatTimeoutS: 1e9})
+
+	if fired := e.Check(10); len(fired) != 0 {
+		t.Fatalf("fired at healthy charge: %+v", fired)
+	}
+	batteryStats(c, 1, 2, 20, 0.15) // below the 20% default
+	fired := e.Check(20)
+	if len(fired) != 1 || fired[0].Kind != KindLowBattery || fired[0].Node != 1 {
+		t.Fatalf("fired = %+v", fired)
+	}
+	if fired[0].Severity != SeverityWarning {
+		t.Fatalf("severity = %v", fired[0].Severity)
+	}
+	// Still low: no duplicate.
+	if again := e.Check(30); len(again) != 0 {
+		t.Fatalf("duplicate alert: %+v", again)
+	}
+	// Sun comes up, battery recovers: alert resolves.
+	batteryStats(c, 1, 3, 40, 0.6)
+	e.Check(40)
+	if len(e.Active()) != 0 {
+		t.Fatalf("low-battery did not resolve: %+v", e.Active())
+	}
+	hist := e.History()
+	if len(hist) != 1 || hist[0].Kind != KindLowBattery || !hist[0].Resolved {
+		t.Fatalf("history = %+v", hist)
+	}
+}
+
+func TestLowBatteryIgnoresMainsPoweredNodes(t *testing.T) {
+	c := newColl()
+	// A mains node reporting zero-value battery fields must not alert:
+	// the Energy flag, not the value, gates the rule.
+	c.Ingest(wire.Batch{Node: 1, SeqNo: 1, SentAt: 10,
+		Stats: []wire.NodeStats{{TS: 10, Node: 1}}})
+	e := NewEngine(c, Config{HeartbeatTimeoutS: 1e9})
+	if fired := e.Check(10); len(fired) != 0 {
+		t.Fatalf("mains node fired low-battery: %+v", fired)
+	}
+}
+
+func TestLowBatteryThresholdConfigurable(t *testing.T) {
+	c := newColl()
+	batteryStats(c, 1, 1, 10, 0.35)
+	e := NewEngine(c, Config{HeartbeatTimeoutS: 1e9, LowBatteryFrac: 0.4})
+	if fired := e.Check(10); len(fired) != 1 {
+		t.Fatalf("custom threshold did not fire: %+v", fired)
+	}
+}

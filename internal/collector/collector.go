@@ -160,6 +160,10 @@ type nodeState struct {
 	// aligned with statsMetricNames; uptime is the heartbeat series.
 	stats  []*tsdb.Series
 	uptime *tsdb.Series
+	// energy holds append handles for the battery series, aligned with
+	// energyMetricNames; created lazily on the first stats record that
+	// carries energy fields, so mains-powered fleets pay nothing.
+	energy []*tsdb.Series
 }
 
 // maxMissingTracked bounds the per-node late-reorder window.
@@ -223,6 +227,19 @@ func statsValues(s *wire.NodeStats) [21]float64 {
 		float64(s.RouteCount), float64(s.QueueLen),
 		s.AirtimeMS, s.DutyCycleUsed, float64(s.DutyBlocked),
 	}
+}
+
+// energyMetricNames lists the battery telemetry series, aligned with
+// energyValues. They are kept out of statsMetricNames so the fixed
+// 21-metric summary schema (and every chart built on it) is untouched
+// by nodes that do not report energy.
+var energyMetricNames = []string{
+	"node_battery_frac", "node_battery_v", "node_harvest_w",
+}
+
+// energyValues extracts the battery values in energyMetricNames order.
+func energyValues(s *wire.NodeStats) [3]float64 {
+	return [3]float64{s.BatteryFrac, s.BatteryV, s.HarvestW}
 }
 
 // seriesKey identifies one cached tsdb append handle. The per-metric
@@ -833,6 +850,19 @@ func (s *shard) ingestStats(st *nodeState, v wire.NodeStats) {
 	vals := statsValues(&v)
 	for i, h := range st.stats {
 		h.Append(v.TS, vals[i])
+	}
+	if v.Energy {
+		if st.energy == nil {
+			labels := tsdb.Labels{"node": v.Node.String()}
+			st.energy = make([]*tsdb.Series, len(energyMetricNames))
+			for i, name := range energyMetricNames {
+				st.energy[i] = s.c.db.Series(name, labels)
+			}
+		}
+		evals := energyValues(&v)
+		for i, h := range st.energy {
+			h.Append(v.TS, evals[i])
+		}
 	}
 }
 

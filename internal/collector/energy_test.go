@@ -1,0 +1,55 @@
+package collector
+
+import (
+	"testing"
+
+	"lorameshmon/internal/tsdb"
+	"lorameshmon/internal/wire"
+)
+
+// TestEnergyStatsIngest: stats records carrying energy fields land in
+// the three battery series; records without them create no series.
+func TestEnergyStatsIngest(t *testing.T) {
+	db := tsdb.New()
+	c := New(db, DefaultConfig())
+	err := c.Ingest(wire.Batch{
+		Node: 1, SeqNo: 1, SentAt: 70,
+		Stats: []wire.NodeStats{
+			{TS: 60, Node: 1, Energy: true, BatteryFrac: 0.75, BatteryV: 3.9, HarvestW: 0.05},
+			{TS: 65, Node: 1, Energy: true, BatteryFrac: 0.74, BatteryV: 3.89},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ingest(wire.Batch{
+		Node: 2, SeqNo: 1, SentAt: 70,
+		Stats: []wire.NodeStats{{TS: 60, Node: 2}}, // mains powered
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	labels := tsdb.Labels{"node": "N0001"}
+	frac, ok := db.QueryOne("node_battery_frac", labels, 0, 100)
+	if !ok || len(frac.Points) != 2 || frac.Points[0].Value != 0.75 || frac.Points[1].Value != 0.74 {
+		t.Fatalf("node_battery_frac = %+v ok=%v", frac, ok)
+	}
+	if v, ok := db.QueryOne("node_battery_v", labels, 0, 100); !ok || v.Points[0].Value != 3.9 {
+		t.Fatalf("node_battery_v = %+v ok=%v", v, ok)
+	}
+	if v, ok := db.QueryOne("node_harvest_w", labels, 0, 100); !ok || v.Points[0].Value != 0.05 {
+		t.Fatalf("node_harvest_w = %+v ok=%v", v, ok)
+	}
+
+	// The mains-powered node contributes summary series but no battery
+	// series at all — not even empty ones.
+	if got := db.Query("node_battery_frac", tsdb.Labels{"node": "N0002"}, 0, 100); len(got) != 0 {
+		t.Fatalf("mains node grew battery series: %+v", got)
+	}
+
+	// LastStats carries the energy snapshot for the dashboard.
+	info, ok := c.Node(1)
+	if !ok || info.LastStats == nil || !info.LastStats.Energy || info.LastStats.BatteryFrac != 0.74 {
+		t.Fatalf("LastStats = %+v", info.LastStats)
+	}
+}

@@ -164,6 +164,8 @@ type nodeRow struct {
 	Routes     int
 	QueueLen   int
 	DutyCycle  string
+	Battery    string // "74% (3.89 V)", or "—" for mains-powered nodes
+	BatteryLow bool
 	BatchesOK  uint64
 	BatchesBad uint64
 }
@@ -195,6 +197,14 @@ func (s *Server) handleOverview(w http.ResponseWriter, _ *http.Request) {
 			row.Routes = n.LastStats.RouteCount
 			row.QueueLen = n.LastStats.QueueLen
 			row.DutyCycle = fmt.Sprintf("%.3f%%", 100*n.LastStats.DutyCycleUsed)
+			if n.LastStats.Energy {
+				row.Battery = fmt.Sprintf("%.0f%% (%.2f V)",
+					100*n.LastStats.BatteryFrac, n.LastStats.BatteryV)
+				row.BatteryLow = n.LastStats.BatteryFrac <= 0.2
+			}
+		}
+		if row.Battery == "" {
+			row.Battery = "—"
 		}
 		rows = append(rows, row)
 	}
@@ -238,9 +248,13 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 	if info.LastRoutes != nil {
 		data.Routes = info.LastRoutes.Routes
 	}
-	for _, metric := range []string{
+	metrics := []string{
 		"mesh_packet_rssi", "node_route_count", "node_queue_len", "node_duty_cycle",
-	} {
+	}
+	if info.LastStats != nil && info.LastStats.Energy {
+		metrics = append(metrics, "node_battery_frac", "node_harvest_w")
+	}
+	for _, metric := range metrics {
 		data.Charts = append(data.Charts,
 			template.URL(fmt.Sprintf("/chart/%s.svg?node=%s", metric, id)))
 	}
@@ -362,12 +376,12 @@ h1{font-size:20px}h2{font-size:16px}
 <p class="meta">record time {{.Now}} · {{.Stats.BatchesIngested}} batches · {{.Stats.RecordsIngested}} records ingested{{if .HavePDR}} · network PDR {{.PDR}}{{end}}</p>
 {{range .Alerts}}<div class="alert"><b>{{.Kind}}</b> [{{.Severity}}] {{.Message}}</div>{{end}}
 <h2>Nodes</h2>
-<table><tr><th>Node</th><th>Status</th><th>Last beat</th><th>Uptime</th><th>Routes</th><th>Queue</th><th>Duty</th><th>Batches</th><th>Lost</th><th>Firmware</th></tr>
+<table><tr><th>Node</th><th>Status</th><th>Last beat</th><th>Uptime</th><th>Routes</th><th>Queue</th><th>Duty</th><th>Battery</th><th>Batches</th><th>Lost</th><th>Firmware</th></tr>
 {{range .Nodes}}<tr>
 <td><a href="/node/{{.ID}}">{{.ID}}</a></td>
 <td>{{if .Up}}<span class="up">up</span>{{else}}<span class="down">down</span>{{end}}</td>
 <td>{{.LastBeat}}</td><td>{{.Uptime}}</td><td>{{.Routes}}</td><td>{{.QueueLen}}</td>
-<td>{{.DutyCycle}}</td><td>{{.BatchesOK}}</td><td>{{.BatchesBad}}</td><td>{{.Firmware}}</td>
+<td>{{.DutyCycle}}</td><td>{{if .BatteryLow}}<span class="down">{{.Battery}}</span>{{else}}{{.Battery}}{{end}}</td><td>{{.BatchesOK}}</td><td>{{.BatchesBad}}</td><td>{{.Firmware}}</td>
 </tr>{{end}}
 </table>
 {{template "foot" .}}{{end}}

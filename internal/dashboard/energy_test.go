@@ -1,0 +1,115 @@
+package dashboard
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lorameshmon/internal/collector"
+	"lorameshmon/internal/tsdb"
+	"lorameshmon/internal/wire"
+)
+
+// seedEnergyCollector ingests one battery node and one mains node.
+func seedEnergyCollector(t *testing.T) *collector.Collector {
+	t.Helper()
+	c := collector.New(tsdb.New(), collector.DefaultConfig())
+	err := c.Ingest(wire.Batch{
+		Node: 1, SeqNo: 1, SentAt: 100,
+		Heartbeats: []wire.Heartbeat{{TS: 100, Node: 1, UptimeS: 100}},
+		Stats: []wire.NodeStats{
+			{TS: 60, Node: 1, Energy: true, BatteryFrac: 0.80, BatteryV: 3.96, HarvestW: 0.04},
+			{TS: 95, Node: 1, Energy: true, BatteryFrac: 0.74, BatteryV: 3.89, HarvestW: 0.04},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Ingest(wire.Batch{
+		Node: 2, SeqNo: 1, SentAt: 100,
+		Heartbeats: []wire.Heartbeat{{TS: 100, Node: 2, UptimeS: 100}},
+		Stats:      []wire.NodeStats{{TS: 95, Node: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) string {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", path, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+func TestOverviewShowsBatteryColumn(t *testing.T) {
+	srv := httptest.NewServer(New(seedEnergyCollector(t), nil, Config{}).Handler())
+	defer srv.Close()
+	body := get(t, srv, "/")
+	if !strings.Contains(body, "<th>Battery</th>") {
+		t.Fatal("overview missing Battery column")
+	}
+	if !strings.Contains(body, "74% (3.89 V)") {
+		t.Fatalf("battery node cell missing:\n%s", body)
+	}
+	// The mains node renders the em-dash placeholder.
+	if !strings.Contains(body, "—") {
+		t.Fatal("mains node missing battery placeholder")
+	}
+}
+
+func TestNodePageListsBatteryCharts(t *testing.T) {
+	srv := httptest.NewServer(New(seedEnergyCollector(t), nil, Config{}).Handler())
+	defer srv.Close()
+	body := get(t, srv, "/node/N0001")
+	if !strings.Contains(body, "/chart/node_battery_frac.svg?node=N0001") {
+		t.Fatal("battery chart not linked on energy node page")
+	}
+	if !strings.Contains(body, "/chart/node_harvest_w.svg?node=N0001") {
+		t.Fatal("harvest chart not linked on energy node page")
+	}
+	// A mains node gets no battery charts.
+	body = get(t, srv, "/node/N0002")
+	if strings.Contains(body, "node_battery_frac") {
+		t.Fatal("mains node page links a battery chart")
+	}
+}
+
+// TestBatteryChartAndJSONTwin: the generic chart route serves the new
+// metric as SVG and as its .json twin with the ingested points.
+func TestBatteryChartAndJSONTwin(t *testing.T) {
+	srv := httptest.NewServer(New(seedEnergyCollector(t), nil, Config{}).Handler())
+	defer srv.Close()
+	svg := get(t, srv, "/chart/node_battery_frac.svg?node=N0001")
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "node_battery_frac") {
+		t.Fatalf("battery SVG chart malformed:\n%.200s", svg)
+	}
+	raw := get(t, srv, "/chart/node_battery_frac.json?node=N0001")
+	var doc struct {
+		Metric string `json:"metric"`
+		Series []struct {
+			Points [][2]float64 `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(raw), &doc); err != nil {
+		t.Fatalf("json twin: %v\n%s", err, raw)
+	}
+	if doc.Metric != "node_battery_frac" || len(doc.Series) != 1 {
+		t.Fatalf("json twin doc = %+v", doc)
+	}
+	pts := doc.Series[0].Points
+	if len(pts) != 2 || pts[0][1] != 0.80 || pts[1][1] != 0.74 {
+		t.Fatalf("json twin points = %+v", pts)
+	}
+}

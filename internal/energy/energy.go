@@ -1,0 +1,410 @@
+// Package energy models a node's power subsystem: a battery drained by
+// radio activity and an idle floor, optionally recharged by a solar
+// panel on a deterministic day/night duty curve.
+//
+// The model is deliberately a ledger, not a physics engine. All state
+// is kept in integer microjoules, and every transfer moves the same
+// integer amount between accounts, so the conservation identity
+//
+//	initial + harvested == consumed + remaining + overflow
+//
+// holds exactly (bit-for-bit, not approximately) at every instant of
+// every run. Consumption uses the SX127x supply-current figures from
+// the datasheet measurements quoted in the LoRaMesher energy studies:
+// 120/87/29/20 mA at +20/+17/+13/+7 dBm TX, 11.5 mA in RX with the
+// LNA on, at a 3.3 V supply. Harvesting is a square day/night wave:
+// the panel delivers PeakW during the day fraction of each period and
+// nothing at night — crude, but deterministic and integrable in
+// closed form, which is what the lifetime experiments need.
+//
+// energy sits directly above simkit in the layering: it knows about
+// simulated time and nothing about radios, nodes or telemetry. The
+// layers above attach an Account through small interfaces they define
+// themselves (radio.EnergySink, agent.EnergyProbe).
+package energy
+
+import (
+	"math"
+	"time"
+
+	"lorameshmon/internal/simkit"
+)
+
+// Supply currents (amperes) for the SX127x at a 3.3 V rail.
+const (
+	// RxCurrentA is the receive draw with the LNA boosted.
+	RxCurrentA = 0.0115
+
+	txCurrent20dBm = 0.120
+	txCurrent17dBm = 0.087
+	txCurrent13dBm = 0.029
+	txCurrent7dBm  = 0.020
+)
+
+// TxCurrentA returns the transmit supply current for a programmed TX
+// power. The SX127x draw is a step function of the PA configuration,
+// not linear in dBm: the four plateaus below are the measured points.
+func TxCurrentA(txPowerDBm float64) float64 {
+	switch {
+	case txPowerDBm >= 20:
+		return txCurrent20dBm
+	case txPowerDBm >= 17:
+		return txCurrent17dBm
+	case txPowerDBm >= 13:
+		return txCurrent13dBm
+	default:
+		return txCurrent7dBm
+	}
+}
+
+// Config describes a node's battery and (optional) solar harvester.
+type Config struct {
+	// CapacityJ is the battery capacity in joules. A 2 Wh cell is
+	// 7200 J. Required (> 0).
+	CapacityJ float64
+	// InitialFrac is the starting state of charge in [0, 1].
+	// Default 1.0 (full).
+	InitialFrac float64
+	// SupplyV is the radio supply rail. Default 3.3 V.
+	SupplyV float64
+	// IdleA is the powered-on floor draw (MCU + radio standby).
+	// Default 1.5 mA.
+	IdleA float64
+
+	// SolarPeakW is the panel output during the day window; 0 disables
+	// harvesting entirely.
+	SolarPeakW float64
+	// DayPeriod is one full day/night cycle. Default 24 h.
+	DayPeriod time.Duration
+	// DayFrac is the fraction of each period with sun. Default 0.5.
+	DayFrac float64
+	// DayOffset shifts dawn within the cycle: the sun is up on
+	// [DayOffset, DayOffset+DayFrac*DayPeriod) of each period.
+	DayOffset time.Duration
+
+	// ShutdownFrac is the state of charge at or below which the node
+	// browns out and powers off. Default 0.02.
+	ShutdownFrac float64
+	// RestartFrac is the state of charge at or above which a
+	// browned-out node reboots. Default 0.25 — well above
+	// ShutdownFrac so the node does not flap at the threshold.
+	RestartFrac float64
+	// CheckInterval is the battery supervisor cadence. Default 15 s.
+	CheckInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitialFrac <= 0 {
+		c.InitialFrac = 1.0
+	}
+	if c.InitialFrac > 1 {
+		c.InitialFrac = 1
+	}
+	if c.SupplyV <= 0 {
+		c.SupplyV = 3.3
+	}
+	if c.IdleA < 0 {
+		c.IdleA = 0
+	} else if c.IdleA == 0 {
+		c.IdleA = 0.0015
+	}
+	if c.DayPeriod <= 0 {
+		c.DayPeriod = 24 * time.Hour
+	}
+	if c.DayFrac <= 0 {
+		c.DayFrac = 0.5
+	}
+	if c.DayFrac > 1 {
+		c.DayFrac = 1
+	}
+	if c.ShutdownFrac <= 0 {
+		c.ShutdownFrac = 0.02
+	}
+	if c.RestartFrac <= c.ShutdownFrac {
+		c.RestartFrac = 0.25
+		if c.RestartFrac <= c.ShutdownFrac {
+			c.RestartFrac = math.Min(1, c.ShutdownFrac+0.1)
+		}
+	}
+	if c.CheckInterval <= 0 {
+		c.CheckInterval = 15 * time.Second
+	}
+	return c
+}
+
+// microjoules per joule; int64 microjoules hold ~9.2e12 J, far beyond
+// any battery this simulates, while keeping every ledger move exact.
+const uJ = 1e6
+
+// Totals is a snapshot of the ledger in joules, for reporting.
+type Totals struct {
+	InitialJ   float64
+	RemainingJ float64
+	TxJ        float64
+	RxJ        float64
+	IdleJ      float64
+	HarvestedJ float64
+	OverflowJ  float64
+}
+
+// ConsumedJ is the total spent on TX + RX + idle.
+func (t Totals) ConsumedJ() float64 { return t.TxJ + t.RxJ + t.IdleJ }
+
+// Account is one node's battery ledger. It is single-threaded like the
+// simulator that drives it; all mutation happens on the event loop.
+type Account struct {
+	cfg Config
+	sim *simkit.Sim
+
+	last    simkit.Time // ledger settled up to here
+	powered bool        // node is on and drawing the idle floor
+	dead    bool        // below shutdown threshold, awaiting recharge
+	started bool
+
+	capacityUJ int64
+	initialUJ  int64
+	remainUJ   int64
+	txUJ       int64
+	rxUJ       int64
+	idleUJ     int64
+	harvestUJ  int64
+	overflowUJ int64
+
+	onDepleted  func()
+	onRecharged func()
+
+	deaths   []simkit.Time
+	revivals []simkit.Time
+}
+
+// NewAccount builds a settled, unpowered account at the sim's current
+// time. Call Start (usually via node.Start) to arm the supervisor.
+func NewAccount(sim *simkit.Sim, cfg Config) *Account {
+	cfg = cfg.withDefaults()
+	cap := int64(math.Round(cfg.CapacityJ * uJ))
+	if cap < 1 {
+		cap = 1
+	}
+	init := int64(math.Round(cfg.CapacityJ * cfg.InitialFrac * uJ))
+	if init > cap {
+		init = cap
+	}
+	return &Account{
+		cfg:        cfg,
+		sim:        sim,
+		last:       sim.Now(),
+		capacityUJ: cap,
+		initialUJ:  init,
+		remainUJ:   init,
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (a *Account) Config() Config { return a.cfg }
+
+// OnDepleted registers the brown-out callback (fired at most once per
+// depletion; the account re-arms after a recharge past RestartFrac).
+func (a *Account) OnDepleted(f func()) { a.onDepleted = f }
+
+// OnRecharged registers the reboot callback.
+func (a *Account) OnRecharged(f func()) { a.onRecharged = f }
+
+// Start arms the periodic battery supervisor. Idempotent. The ticker
+// runs for the life of the sim even while the node is powered off —
+// that is what notices the panel refilling a dead node's battery.
+func (a *Account) Start() {
+	if a.started {
+		return
+	}
+	a.started = true
+	a.sim.Every(a.cfg.CheckInterval, a.check)
+	a.check()
+}
+
+// SetPowered records whether the node is on (drawing the idle floor).
+// The node layer calls this from Start/Fail/Recover.
+func (a *Account) SetPowered(on bool) {
+	a.settle(a.sim.Now())
+	a.powered = on
+}
+
+// Depleted reports whether the battery is below the shutdown
+// threshold and the node is browned out waiting for a recharge.
+func (a *Account) Depleted() bool { return a.dead }
+
+// Deaths returns the times the battery crossed the shutdown
+// threshold; Revivals the times it recovered past the restart
+// threshold.
+func (a *Account) Deaths() []simkit.Time   { return append([]simkit.Time(nil), a.deaths...) }
+func (a *Account) Revivals() []simkit.Time { return append([]simkit.Time(nil), a.revivals...) }
+
+// ChargeTx debits the battery for a transmission of the given airtime
+// at the given programmed power. Implements radio.EnergySink.
+func (a *Account) ChargeTx(airtime time.Duration, txPowerDBm float64) {
+	e := a.cfg.SupplyV * TxCurrentA(txPowerDBm) * airtime.Seconds()
+	a.drain(&a.txUJ, int64(math.Round(e*uJ)))
+}
+
+// ChargeRx debits the battery for a successful reception.
+// Implements radio.EnergySink.
+func (a *Account) ChargeRx(airtime time.Duration) {
+	e := a.cfg.SupplyV * RxCurrentA * airtime.Seconds()
+	a.drain(&a.rxUJ, int64(math.Round(e*uJ)))
+}
+
+// BatteryFraction is the state of charge in [0, 1].
+// Implements agent.EnergyProbe.
+func (a *Account) BatteryFraction() float64 {
+	a.settle(a.sim.Now())
+	return float64(a.remainUJ) / float64(a.capacityUJ)
+}
+
+// Battery terminal voltage: a linear LiPo-ish map from the charge
+// fraction. Real discharge curves are flatter in the middle; linear
+// keeps the telemetry monotone and trivially invertible.
+const (
+	vEmpty = 3.0
+	vFull  = 4.2
+)
+
+// BatteryVoltageV estimates the cell voltage from the state of
+// charge. Implements agent.EnergyProbe.
+func (a *Account) BatteryVoltageV() float64 {
+	return vEmpty + (vFull-vEmpty)*a.BatteryFraction()
+}
+
+// HarvestW is the instantaneous panel output at the current sim time.
+// Implements agent.EnergyProbe.
+func (a *Account) HarvestW() float64 {
+	if a.cfg.SolarPeakW <= 0 {
+		return 0
+	}
+	p := a.cfg.DayPeriod.Seconds()
+	phase := math.Mod(a.sim.Now().Seconds()-a.cfg.DayOffset.Seconds(), p)
+	if phase < 0 {
+		phase += p
+	}
+	if phase < a.cfg.DayFrac*p {
+		return a.cfg.SolarPeakW
+	}
+	return 0
+}
+
+// Totals settles and snapshots the ledger.
+func (a *Account) Totals() Totals {
+	a.settle(a.sim.Now())
+	return Totals{
+		InitialJ:   float64(a.initialUJ) / uJ,
+		RemainingJ: float64(a.remainUJ) / uJ,
+		TxJ:        float64(a.txUJ) / uJ,
+		RxJ:        float64(a.rxUJ) / uJ,
+		IdleJ:      float64(a.idleUJ) / uJ,
+		HarvestedJ: float64(a.harvestUJ) / uJ,
+		OverflowJ:  float64(a.overflowUJ) / uJ,
+	}
+}
+
+// LedgerUJ exposes the raw integer ledger for the conservation
+// property test: initial + harvested == consumed + remaining + overflow
+// must hold exactly in int64 arithmetic.
+func (a *Account) LedgerUJ() (initial, consumed, remaining, harvested, overflow int64) {
+	a.settle(a.sim.Now())
+	return a.initialUJ, a.txUJ + a.rxUJ + a.idleUJ, a.remainUJ, a.harvestUJ, a.overflowUJ
+}
+
+// drain settles and debits up to e microjoules from the battery into
+// the given consumption account, clamping at empty (the tail of a
+// packet sent on a dying battery is absorbed, not double-counted).
+func (a *Account) drain(acct *int64, e int64) {
+	a.settle(a.sim.Now())
+	if e <= 0 {
+		return
+	}
+	if e > a.remainUJ {
+		e = a.remainUJ
+	}
+	*acct += e
+	a.remainUJ -= e
+}
+
+// settle integrates harvest and idle drain over (a.last, now] and
+// advances the ledger clock. Every path that reads or mutates charge
+// goes through here first.
+func (a *Account) settle(now simkit.Time) {
+	if now <= a.last {
+		return
+	}
+	t0, t1 := a.last.Seconds(), now.Seconds()
+	a.last = now
+
+	// Harvest first: energy arriving in the window is available to the
+	// idle draw in the same window (order matters only at the empty /
+	// full boundaries, and charging before draining is the lenient
+	// reading for a panel-backed node).
+	if a.cfg.SolarPeakW > 0 {
+		h := int64(math.Round(a.cfg.SolarPeakW * a.sunSeconds(t0, t1) * uJ))
+		if h > 0 {
+			a.harvestUJ += h
+			room := a.capacityUJ - a.remainUJ
+			if h > room {
+				a.overflowUJ += h - room
+				h = room
+			}
+			a.remainUJ += h
+		}
+	}
+
+	if a.powered && a.cfg.IdleA > 0 {
+		e := int64(math.Round(a.cfg.SupplyV * a.cfg.IdleA * (t1 - t0) * uJ))
+		if e > a.remainUJ {
+			e = a.remainUJ
+		}
+		if e > 0 {
+			a.idleUJ += e
+			a.remainUJ -= e
+		}
+	}
+}
+
+// sunSeconds is the closed-form integral of the day/night square wave
+// over [t0, t1): how many of those seconds had the panel lit.
+func (a *Account) sunSeconds(t0, t1 float64) float64 {
+	p := a.cfg.DayPeriod.Seconds()
+	day := a.cfg.DayFrac * p
+	off := a.cfg.DayOffset.Seconds()
+	// Shift so dawn is at phase 0, then shift both endpoints by whole
+	// periods until non-negative (the integral is periodic).
+	s0, s1 := t0-off, t1-off
+	if s0 < 0 {
+		k := math.Ceil(-s0 / p)
+		s0 += k * p
+		s1 += k * p
+	}
+	f := func(t float64) float64 { // lit seconds in [0, t)
+		n := math.Floor(t / p)
+		return n*day + math.Min(t-n*p, day)
+	}
+	return f(s1) - f(s0)
+}
+
+// check is the supervisor tick: settle, then cross the shutdown or
+// restart threshold at most once per transition.
+func (a *Account) check() {
+	a.settle(a.sim.Now())
+	shutdown := int64(math.Round(a.cfg.ShutdownFrac * float64(a.capacityUJ)))
+	restart := int64(math.Round(a.cfg.RestartFrac * float64(a.capacityUJ)))
+	switch {
+	case !a.dead && a.remainUJ <= shutdown:
+		a.dead = true
+		a.deaths = append(a.deaths, a.sim.Now())
+		if a.onDepleted != nil {
+			a.onDepleted()
+		}
+	case a.dead && a.remainUJ >= restart:
+		a.dead = false
+		a.revivals = append(a.revivals, a.sim.Now())
+		if a.onRecharged != nil {
+			a.onRecharged()
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package energy
+
+import (
+	"testing"
+	"time"
+
+	"lorameshmon/internal/simkit"
+)
+
+func newSim() *simkit.Sim { return simkit.New(1) }
+
+func conserved(t *testing.T, a *Account) {
+	t.Helper()
+	initial, consumed, remaining, harvested, overflow := a.LedgerUJ()
+	if initial+harvested != consumed+remaining+overflow {
+		t.Fatalf("ledger out of balance: initial=%d harvested=%d consumed=%d remaining=%d overflow=%d",
+			initial, harvested, consumed, remaining, overflow)
+	}
+}
+
+func TestTxCurrentSteps(t *testing.T) {
+	cases := []struct {
+		dbm  float64
+		want float64
+	}{
+		{22, 0.120}, {20, 0.120}, {19, 0.087}, {17, 0.087},
+		{14, 0.029}, {13, 0.029}, {12, 0.020}, {7, 0.020}, {2, 0.020},
+	}
+	for _, c := range cases {
+		if got := TxCurrentA(c.dbm); got != c.want {
+			t.Errorf("TxCurrentA(%v) = %v, want %v", c.dbm, got, c.want)
+		}
+	}
+}
+
+func TestIdleDrain(t *testing.T) {
+	sim := newSim()
+	a := NewAccount(sim, Config{CapacityJ: 100, IdleA: 0.0015})
+	a.SetPowered(true)
+	sim.RunFor(time.Hour)
+	tot := a.Totals()
+	// 1.5 mA at 3.3 V for 3600 s = 17.82 J.
+	want := 3.3 * 0.0015 * 3600
+	if diff := tot.IdleJ - want; diff > 1e-3 || diff < -1e-3 {
+		t.Fatalf("idle drain = %v J, want ~%v J", tot.IdleJ, want)
+	}
+	conserved(t, a)
+}
+
+func TestChargeTxRx(t *testing.T) {
+	sim := newSim()
+	a := NewAccount(sim, Config{CapacityJ: 100, IdleA: -1}) // no idle floor
+	a.SetPowered(true)
+	a.ChargeTx(50*time.Millisecond, 14)
+	a.ChargeRx(50 * time.Millisecond)
+	tot := a.Totals()
+	wantTx := 3.3 * 0.029 * 0.050
+	wantRx := 3.3 * 0.0115 * 0.050
+	if d := tot.TxJ - wantTx; d > 1e-6 || d < -1e-6 {
+		t.Errorf("tx = %v J, want %v", tot.TxJ, wantTx)
+	}
+	if d := tot.RxJ - wantRx; d > 1e-6 || d < -1e-6 {
+		t.Errorf("rx = %v J, want %v", tot.RxJ, wantRx)
+	}
+	conserved(t, a)
+}
+
+func TestSolarSquareWave(t *testing.T) {
+	sim := newSim()
+	a := NewAccount(sim, Config{
+		CapacityJ: 1e6, InitialFrac: 0.5, IdleA: -1,
+		SolarPeakW: 2, DayPeriod: time.Hour, DayFrac: 0.25,
+	})
+	// Sun is up 15 min of every hour at 2 W -> 1800 J per period.
+	sim.RunFor(4 * time.Hour)
+	tot := a.Totals()
+	if d := tot.HarvestedJ - 4*1800; d > 1e-3 || d < -1e-3 {
+		t.Fatalf("harvested = %v J over 4 periods, want 7200", tot.HarvestedJ)
+	}
+	if a.HarvestW() != 2 { // t=4h is a dawn instant
+		t.Errorf("HarvestW at dawn = %v, want 2", a.HarvestW())
+	}
+	sim.RunFor(30 * time.Minute) // well past the 15-min day window
+	if a.HarvestW() != 0 {
+		t.Errorf("HarvestW at night = %v, want 0", a.HarvestW())
+	}
+	conserved(t, a)
+}
+
+func TestSolarOverflowAtFullBattery(t *testing.T) {
+	sim := newSim()
+	a := NewAccount(sim, Config{
+		CapacityJ: 10, InitialFrac: 1.0, IdleA: -1,
+		SolarPeakW: 1, DayPeriod: time.Hour, DayFrac: 1,
+	})
+	sim.RunFor(time.Hour) // 3600 J offered to a full 10 J battery
+	tot := a.Totals()
+	if tot.OverflowJ < 3599 || tot.OverflowJ > 3600 {
+		t.Fatalf("overflow = %v J, want ~3600", tot.OverflowJ)
+	}
+	if tot.RemainingJ != 10 {
+		t.Fatalf("remaining = %v J, want 10 (full)", tot.RemainingJ)
+	}
+	conserved(t, a)
+}
+
+func TestDepletionAndSolarRevival(t *testing.T) {
+	sim := newSim()
+	// 50 J battery against a 66 mW idle drain (3.3 V * 20 mA): empty
+	// in ~12 min. The panel averages 30 mW — less than the drain, so
+	// the node cycles: deplete in darkness-heavy stretches, recover
+	// while dead (no drain) as the panel refills past RestartFrac.
+	a := NewAccount(sim, Config{
+		CapacityJ: 50, IdleA: 0.020,
+		SolarPeakW: 0.06, DayPeriod: 30 * time.Minute, DayFrac: 0.5,
+		// defaults: ShutdownFrac 0.02, RestartFrac 0.25
+	})
+	var downs, ups int
+	a.OnDepleted(func() { downs++; a.SetPowered(false) })
+	a.OnRecharged(func() { ups++; a.SetPowered(true) })
+	a.SetPowered(true)
+	a.Start()
+
+	sim.RunFor(6 * time.Hour)
+	if downs == 0 {
+		t.Fatal("battery never depleted")
+	}
+	if ups == 0 {
+		t.Fatal("battery never revived after sunrise")
+	}
+	if len(a.Deaths()) != downs || len(a.Revivals()) != ups {
+		t.Fatalf("timeline mismatch: %d/%d deaths, %d/%d revivals",
+			len(a.Deaths()), downs, len(a.Revivals()), ups)
+	}
+	if a.Deaths()[0] >= a.Revivals()[0] {
+		t.Fatalf("first death %v not before first revival %v", a.Deaths()[0], a.Revivals()[0])
+	}
+	conserved(t, a)
+}
+
+func TestNoHarvestStaysDead(t *testing.T) {
+	sim := newSim()
+	a := NewAccount(sim, Config{CapacityJ: 1, IdleA: 0.01})
+	var downs int
+	a.OnDepleted(func() { downs++; a.SetPowered(false) })
+	a.OnRecharged(func() { t.Error("revived without a harvester") })
+	a.SetPowered(true)
+	a.Start()
+	sim.RunFor(24 * time.Hour)
+	if downs != 1 {
+		t.Fatalf("depleted %d times, want exactly 1", downs)
+	}
+	if !a.Depleted() {
+		t.Fatal("account should still be depleted")
+	}
+	conserved(t, a)
+}
+
+func TestVoltageMapsFraction(t *testing.T) {
+	sim := newSim()
+	a := NewAccount(sim, Config{CapacityJ: 100, IdleA: -1})
+	if v := a.BatteryVoltageV(); v != 4.2 {
+		t.Errorf("full voltage = %v, want 4.2", v)
+	}
+	a.drain(&a.txUJ, a.remainUJ) // empty it
+	if v := a.BatteryVoltageV(); v != 3.0 {
+		t.Errorf("empty voltage = %v, want 3.0", v)
+	}
+	conserved(t, a)
+}
+
+// TestConservationProperty is the acceptance property: a busy mixed
+// workload — charges at odd times, day/night cycles, depletion,
+// revival — keeps the integer ledger exactly balanced, and two runs
+// from the same seed produce identical ledgers.
+func TestConservationProperty(t *testing.T) {
+	run := func(seed int64) [5]int64 {
+		sim := simkit.New(seed)
+		a := NewAccount(sim, Config{
+			CapacityJ: 50, InitialFrac: 0.8, IdleA: 0.002,
+			SolarPeakW: 0.05, DayPeriod: 90 * time.Minute, DayFrac: 0.4,
+			CheckInterval: 7 * time.Second,
+		})
+		a.OnDepleted(func() { a.SetPowered(false) })
+		a.OnRecharged(func() { a.SetPowered(true) })
+		a.SetPowered(true)
+		a.Start()
+		// Jittered radio activity, the way a mesh drives it.
+		sim.Every(11*time.Second, func() {
+			d := time.Duration(20+sim.Rand().Intn(80)) * time.Millisecond
+			a.ChargeTx(d, 14)
+		})
+		sim.Every(5*time.Second, func() {
+			d := time.Duration(30+sim.Rand().Intn(60)) * time.Millisecond
+			a.ChargeRx(d)
+		})
+		sim.RunFor(12 * time.Hour)
+		initial, consumed, remaining, harvested, overflow := a.LedgerUJ()
+		if initial+harvested != consumed+remaining+overflow {
+			t.Fatalf("seed %d: ledger out of balance: %d+%d != %d+%d+%d",
+				seed, initial, harvested, consumed, remaining, overflow)
+		}
+		return [5]int64{initial, consumed, remaining, harvested, overflow}
+	}
+	for _, seed := range []int64{1, 2, 42, 1234} {
+		first := run(seed)
+		if second := run(seed); first != second {
+			t.Fatalf("seed %d not deterministic: %v vs %v", seed, first, second)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := Config{CapacityJ: 10}.withDefaults()
+	if c.InitialFrac != 1 || c.SupplyV != 3.3 || c.IdleA != 0.0015 ||
+		c.DayPeriod != 24*time.Hour || c.DayFrac != 0.5 ||
+		c.ShutdownFrac != 0.02 || c.RestartFrac != 0.25 ||
+		c.CheckInterval != 15*time.Second {
+		t.Fatalf("unexpected defaults: %+v", c)
+	}
+	// RestartFrac must stay above ShutdownFrac.
+	c = Config{CapacityJ: 10, ShutdownFrac: 0.4, RestartFrac: 0.3}.withDefaults()
+	if c.RestartFrac <= c.ShutdownFrac {
+		t.Fatalf("restart %v not above shutdown %v", c.RestartFrac, c.ShutdownFrac)
+	}
+}

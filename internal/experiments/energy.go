@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lorameshmon"
+	"lorameshmon/internal/scenario"
+	"lorameshmon/internal/wire"
+)
+
+// E1 preset table: every case runs the same convergecast workload on
+// the same seeds; only the power model and the routing metric vary.
+var e1Presets = []struct {
+	name string
+	spec func(seed int64, n int) lorameshmon.Spec
+	n    int
+}{
+	{"solar-campus", scenario.SolarCampus, 12},
+	{"off-grid", scenario.OffGridLongRange, 12},
+	{"subterranean", scenario.SubterraneanCorridor, 8},
+}
+
+const (
+	e1Seed    = 11
+	e1Horizon = 8 * time.Hour
+)
+
+// e1Run drives one preset under one routing metric and reports the
+// lifetime and monitoring-completeness outcomes.
+type e1Result struct {
+	firstDeathS  float64
+	deaths       int
+	revivals     int
+	flagged      int     // deaths preceded by a low-battery alert
+	completeness float64 // flagged / deaths
+	lowBeforeSil bool    // every flagged death: low-battery strictly first
+}
+
+func e1Run(spec lorameshmon.Spec, energyAware bool) e1Result {
+	spec.Mesh.EnergyAware = energyAware
+	sys, err := lorameshmon.NewWithOptions(spec, lorameshmon.Options{
+		AlertCheckInterval: 30 * time.Second,
+	})
+	if err != nil {
+		panic("experiments: E1: " + err.Error())
+	}
+	if err := sys.Deployment.ConvergecastTraffic(1, 20*time.Second, 20, false); err != nil {
+		panic("experiments: E1: " + err.Error())
+	}
+	sys.Start()
+	sys.RunFor(e1Horizon)
+
+	// Index alert firings by node: the earliest low-battery warning and
+	// the earliest node-down (the monitor's view of the silence).
+	lowAt := map[wire.NodeID]float64{}
+	downAt := map[wire.NodeID]float64{}
+	for _, a := range sys.FiredAlerts() {
+		switch a.Kind {
+		case "low-battery":
+			if _, ok := lowAt[a.Node]; !ok {
+				lowAt[a.Node] = a.FiredAt
+			}
+		case "node-down":
+			if _, ok := downAt[a.Node]; !ok {
+				downAt[a.Node] = a.FiredAt
+			}
+		}
+	}
+
+	r := e1Result{firstDeathS: -1, lowBeforeSil: true}
+	for nd, times := range sys.Deployment.EnergyDeaths() {
+		id := wire.NodeID(nd.ID())
+		for _, t := range times {
+			r.deaths++
+			if r.firstDeathS < 0 || t.Seconds() < r.firstDeathS {
+				r.firstDeathS = t.Seconds()
+			}
+			if low, ok := lowAt[id]; ok && low < t.Seconds() {
+				r.flagged++
+				if down, ok := downAt[id]; ok && down <= low {
+					r.lowBeforeSil = false
+				}
+			}
+		}
+		r.revivals += len(nd.Energy().Revivals())
+	}
+	if r.deaths > 0 {
+		r.completeness = float64(r.flagged) / float64(r.deaths)
+	}
+	return r
+}
+
+// E1EnergyLifetime runs the network-lifetime family: the three energy
+// presets under plain hop-count routing and under the energy-aware
+// metric, measuring time to first battery death, the dead-node
+// timeline, and monitoring completeness — the fraction of battery
+// deaths the server flagged (low-battery alert) before the node went
+// silent. Solar revivals show up as recoveries the monitor observes.
+func E1EnergyLifetime() Table {
+	t := Table{
+		ID:    "E1",
+		Title: fmt.Sprintf("Network lifetime and monitoring completeness (convergecast, %v horizon, seed %d)", e1Horizon, e1Seed),
+		Columns: []string{
+			"preset", "routing", "first death", "deaths", "revivals",
+			"flagged early", "completeness",
+		},
+	}
+	type caseDef struct {
+		preset int
+		aware  bool
+	}
+	var cases []caseDef
+	for i := range e1Presets {
+		cases = append(cases, caseDef{i, false}, caseDef{i, true})
+	}
+	results := Sweep(len(cases), func(i int) e1Result {
+		p := e1Presets[cases[i].preset]
+		return e1Run(p.spec(e1Seed, p.n), cases[i].aware)
+	})
+	orderOK := true
+	for i, c := range cases {
+		p, r := e1Presets[c.preset], results[i]
+		routing := "hop-count"
+		if c.aware {
+			routing = "energy-aware"
+		}
+		first := "none"
+		if r.firstDeathS >= 0 {
+			first = fmtHours(r.firstDeathS)
+		}
+		t.AddRow(p.name, routing, first,
+			fmt.Sprintf("%d", r.deaths), fmt.Sprintf("%d", r.revivals),
+			fmt.Sprintf("%d/%d", r.flagged, r.deaths), f2(r.completeness))
+		if !r.lowBeforeSil {
+			orderOK = false
+		}
+	}
+	for i := range e1Presets {
+		hop, ea := results[2*i], results[2*i+1]
+		if hop.firstDeathS >= 0 && (ea.firstDeathS < 0 || ea.firstDeathS > hop.firstDeathS) {
+			if ea.firstDeathS < 0 {
+				t.Note("%s: energy-aware routing extends lifetime beyond the horizon (first death %s -> none)",
+					e1Presets[i].name, fmtHours(hop.firstDeathS))
+			} else {
+				t.Note("%s: energy-aware routing extends lifetime by %s (first death %s -> %s)",
+					e1Presets[i].name, fmtHours(ea.firstDeathS-hop.firstDeathS),
+					fmtHours(hop.firstDeathS), fmtHours(ea.firstDeathS))
+			}
+		}
+	}
+	if orderOK {
+		t.Note("every flagged death was warned (low-battery) strictly before the monitor saw the silence (node-down)")
+	} else {
+		t.Note("ORDERING VIOLATION: a node-down fired at or before its low-battery warning")
+	}
+	t.Note("completeness = battery deaths preceded by a low-battery alert / all battery deaths")
+	return t
+}
+
+func fmtHours(s float64) string { return fmt.Sprintf("%.2fh", s/3600) }

@@ -47,6 +47,7 @@ func All() []Experiment {
 		{"A3", "ablation-capture", AblationCapture},
 		{"A4", "ablation-route-timeout", AblationRouteTimeout},
 		{"A5", "ablation-snr-routing", AblationSNRRouting},
+		{"E1", "energy-lifetime", E1EnergyLifetime},
 	}
 }
 

@@ -10,8 +10,15 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lorameshmon/internal/phy"
 	"lorameshmon/internal/wire"
 )
+
+// helloAirtimeMS is the true on-air time of the synthetic 23-byte
+// HELLO records at the default PHY (SF7/BW125), not a hardcoded guess
+// — analyses that sum AirtimeMS over loadgen batches agree with what
+// the simulator would report for the same frames.
+var helloAirtimeMS = phy.Airtime(phy.DefaultParams(), 23).Seconds() * 1000
 
 // Sender delivers one batch; both uplink.HTTP.SendSync and a direct
 // collector Ingest closure satisfy it.
@@ -113,7 +120,7 @@ func MakeBatch(node wire.NodeID, seq uint64, records int, ts float64) wire.Batch
 			TS: pts, Node: node, Event: wire.EventRx,
 			Type: "HELLO", Src: node + 1, Dst: wire.BroadcastID, Via: wire.BroadcastID,
 			Seq: uint16(seq*uint64(records) + uint64(i)), TTL: 1, Size: 23,
-			RSSIdBm: -100, SNRdB: 5, ForUs: true, AirtimeMS: 46,
+			RSSIdBm: -100, SNRdB: 5, ForUs: true, AirtimeMS: helloAirtimeMS,
 		})
 	}
 	b.Heartbeats = append(b.Heartbeats, wire.Heartbeat{TS: ts, Node: node, UptimeS: ts})

@@ -46,6 +46,12 @@ type Config struct {
 	SNRTiebreakDB float64
 	// Role is advertised in this node's HELLOs (RoleNode, RoleGateway).
 	Role uint8
+	// EnergyAware biases route selection away from low-battery next
+	// hops (the subterranean-deployment strategy): the state of charge
+	// each neighbour advertises in its HELLOs is turned into a metric
+	// penalty, so paths through healthy nodes win even at equal hop
+	// count. Off by default — the plain hop-count metric is unchanged.
+	EnergyAware bool
 }
 
 // DefaultConfig returns the defaults used throughout the evaluation:

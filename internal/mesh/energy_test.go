@@ -1,0 +1,175 @@
+package mesh
+
+import (
+	"testing"
+	"time"
+
+	"lorameshmon/internal/phy"
+	"lorameshmon/internal/radio"
+	"lorameshmon/internal/simkit"
+)
+
+// TestAddMetricSaturates pins the saturating metric arithmetic: once a
+// metric reaches MetricInf it must stay there, and in particular a
+// neighbour advertising MetricInf-1 (or even 255) cannot wrap past
+// MetricInf back into the reachable range when re-advertised.
+func TestAddMetricSaturates(t *testing.T) {
+	cases := []struct {
+		a, b, want uint8
+	}{
+		{1, 1, 2},
+		{0, 0, 0},
+		{MetricInf - 2, 1, MetricInf - 1},
+		{MetricInf - 1, 1, MetricInf}, // the re-advertise step
+		{MetricInf - 1, 2, MetricInf}, // beyond infinity stays infinity
+		{MetricInf, 1, MetricInf},     // already unreachable
+		{MetricInf, MetricInf, MetricInf},
+		{255, 1, MetricInf},   // uint8 wrap (255+1=0) must not resurrect
+		{255, 255, MetricInf}, // uint16 arithmetic: 510 saturates
+		{200, 100, MetricInf},
+	}
+	for _, c := range cases {
+		if got := AddMetric(c.a, c.b); got != c.want {
+			t.Errorf("AddMetric(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBatteryEncodingRoundTrip(t *testing.T) {
+	if _, ok := DecodeBattery(0); ok {
+		t.Fatal("zero byte must decode as no-info")
+	}
+	for _, frac := range []float64{0, 0.1, 0.25, 0.5, 0.75, 1} {
+		got, ok := DecodeBattery(EncodeBattery(frac))
+		if !ok {
+			t.Fatalf("EncodeBattery(%v) produced the no-info byte", frac)
+		}
+		if diff := got - frac; diff > 1.0/254 || diff < -1.0/254 {
+			t.Errorf("battery %v round-tripped to %v", frac, got)
+		}
+	}
+	// Out-of-range inputs clamp instead of wrapping the byte.
+	if EncodeBattery(-0.5) != 1 || EncodeBattery(2.0) != 255 {
+		t.Error("out-of-range fractions must clamp to the byte range")
+	}
+}
+
+func TestEnergyPenaltyTiers(t *testing.T) {
+	cases := []struct {
+		frac float64
+		want uint8
+	}{
+		{1, 0}, {0.5, 0}, {0.49, 1}, {0.25, 1}, {0.24, 2}, {0.1, 2}, {0.09, 4}, {0, 4},
+	}
+	for _, c := range cases {
+		if got := energyPenalty(c.frac); got != c.want {
+			t.Errorf("energyPenalty(%v) = %d, want %d", c.frac, got, c.want)
+		}
+	}
+}
+
+// diamond builds A(1) - {B(2), C(3)} - D(4): two equal-hop-count paths
+// from A to D, through B or through C.
+func diamond(t *testing.T, seed int64, cfg Config) *testNet {
+	t.Helper()
+	sim := simkit.New(seed)
+	medium := radio.NewMedium(sim, testMediumConfig())
+	net := &testNet{sim: sim, medium: medium}
+	positions := []phy.Point{
+		{X: 0, Y: 0},
+		{X: testSpacing, Y: 6},
+		{X: testSpacing, Y: -6},
+		{X: 2 * testSpacing, Y: 0},
+	}
+	for i, pos := range positions {
+		rad, err := medium.AttachRadio(radio.ID(i+1), pos, phy.DefaultParams(), phy.Unregulated())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := NewRouter(sim, rad, cfg)
+		r.Start()
+		net.routers = append(net.routers, r)
+	}
+	return net
+}
+
+// TestEnergyAwareRoutingAvoidsLowBattery: with the knob on, the relay
+// advertising a nearly dead battery is priced out of A's route to D.
+func TestEnergyAwareRoutingAvoidsLowBattery(t *testing.T) {
+	net := diamond(t, 3, Config{EnergyAware: true})
+	net.routers[1].SetBatterySource(func() float64 { return 0.05 }) // B: nearly dead
+	net.routers[2].SetBatterySource(func() float64 { return 0.95 }) // C: healthy
+	net.converge(10 * time.Minute)
+
+	a := net.routers[0]
+	route, ok := a.Table().Lookup(4)
+	if !ok {
+		t.Fatal("A has no route to D")
+	}
+	if route.NextHop != 3 {
+		t.Fatalf("A routes to D via %v, want the healthy relay N0003", route.NextHop)
+	}
+	// The direct route to the tired relay survives — expensive, not
+	// evicted: if B were the only path, traffic would still flow.
+	toB, ok := a.Table().Lookup(2)
+	if !ok {
+		t.Fatal("A lost its route to the low-battery neighbour entirely")
+	}
+	if toB.Metric <= 1 || toB.Metric >= MetricInf {
+		t.Fatalf("route to low-battery neighbour has metric %d, want penalised but reachable", toB.Metric)
+	}
+}
+
+// TestHopCountDefaultIgnoresBattery: with the knob off (the default),
+// battery advertisements change nothing — both relays stay metric 1 and
+// the route to D stays metric 2.
+func TestHopCountDefaultIgnoresBattery(t *testing.T) {
+	net := diamond(t, 3, Config{})
+	net.routers[1].SetBatterySource(func() float64 { return 0.05 })
+	net.routers[2].SetBatterySource(func() float64 { return 0.95 })
+	net.converge(10 * time.Minute)
+
+	a := net.routers[0]
+	for _, relay := range []radio.ID{2, 3} {
+		route, ok := a.Table().Lookup(relay)
+		if !ok || route.Metric != 1 {
+			t.Fatalf("hop-count route to %v = %+v (ok=%v), want metric 1", relay, route, ok)
+		}
+	}
+	route, ok := a.Table().Lookup(4)
+	if !ok || route.Metric != 2 {
+		t.Fatalf("hop-count route to D = %+v (ok=%v), want metric 2", route, ok)
+	}
+}
+
+// TestHelloAdvertisesBattery: the battery source's value rides every
+// HELLO; without a source the byte stays 0 (no info).
+func TestHelloAdvertisesBattery(t *testing.T) {
+	net := newLine(t, 5, 2, Config{})
+	net.routers[0].SetBatterySource(func() float64 { return 0.5 })
+	var fromA, fromB []uint8
+	net.routers[1].SetTap(Tap{PacketIn: func(p Packet, _ radio.RxInfo, _ bool) {
+		if p.Type == TypeHello {
+			fromA = append(fromA, p.SrcBattery)
+		}
+	}})
+	net.routers[0].SetTap(Tap{PacketIn: func(p Packet, _ radio.RxInfo, _ bool) {
+		if p.Type == TypeHello {
+			fromB = append(fromB, p.SrcBattery)
+		}
+	}})
+	net.converge(5 * time.Minute)
+	if len(fromA) == 0 || len(fromB) == 0 {
+		t.Fatal("no HELLOs observed")
+	}
+	for _, b := range fromA {
+		if frac, ok := DecodeBattery(b); !ok || frac < 0.49 || frac > 0.51 {
+			t.Fatalf("A advertised battery byte %d, want ~0.5", b)
+		}
+	}
+	for _, b := range fromB {
+		if b != 0 {
+			t.Fatalf("B has no battery source but advertised byte %d", b)
+		}
+	}
+}

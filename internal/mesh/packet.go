@@ -89,6 +89,11 @@ type Packet struct {
 	Routes []RouteAd
 	// SrcRole is the sender's role byte (HELLO packets).
 	SrcRole uint8
+	// SrcBattery is the sender's advertised state of charge (HELLO
+	// packets): 0 means "no battery info", otherwise 1 + round(frac*254)
+	// maps [0,1] onto [1,255]. Like SrcRole it rides in header padding,
+	// so advertising it does not change HELLO airtime.
+	SrcBattery uint8
 	// AckFor is the acknowledged sequence number of an ACK packet.
 	AckFor uint16
 	// TransferID identifies a large transfer (FRAG/FRAGREQ/FRAGACK).
@@ -98,6 +103,27 @@ type Packet struct {
 	FragCount uint16
 	// Missing lists the fragment indexes a FRAGREQ asks for.
 	Missing []uint16
+}
+
+// EncodeBattery maps a state of charge in [0,1] to the SrcBattery wire
+// byte (1..255); DecodeBattery inverts it, returning ok=false for the
+// "no info" zero byte.
+func EncodeBattery(frac float64) uint8 {
+	if frac < 0 {
+		frac = 0
+	} else if frac > 1 {
+		frac = 1
+	}
+	return 1 + uint8(frac*254+0.5)
+}
+
+// DecodeBattery returns the advertised state of charge and whether the
+// sender advertised one at all.
+func DecodeBattery(b uint8) (frac float64, ok bool) {
+	if b == 0 {
+		return 0, false
+	}
+	return float64(b-1) / 254, true
 }
 
 // Size returns the frame's on-air size in bytes.

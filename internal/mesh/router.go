@@ -132,6 +132,10 @@ type Router struct {
 	tap      Tap
 	deliver  ReceiveFunc
 	counters Counters
+
+	// batterySrc, when set, supplies the node's state of charge for
+	// HELLO advertisement (energy-aware routing reads it on receive).
+	batterySrc func() float64
 }
 
 type dedupKey struct {
@@ -177,6 +181,11 @@ func (r *Router) Radio() *radio.Radio { return r.rad }
 
 // SetTap installs instrumentation hooks. Pass a zero Tap to clear.
 func (r *Router) SetTap(t Tap) { r.tap = t }
+
+// SetBatterySource installs the state-of-charge supplier advertised in
+// HELLOs (values in [0,1]). Nil clears it: HELLOs then carry the
+// "no battery info" byte and neighbours apply no energy penalty.
+func (r *Router) SetBatterySource(f func() float64) { r.batterySrc = f }
 
 // OnReceive installs the application delivery callback.
 func (r *Router) OnReceive(f ReceiveFunc) { r.deliver = f }
@@ -297,6 +306,9 @@ func (r *Router) helloRound() {
 		TTL:     1,
 		Routes:  r.buildAds(),
 		SrcRole: r.cfg.Role,
+	}
+	if r.batterySrc != nil {
+		pkt.SrcBattery = EncodeBattery(r.batterySrc())
 	}
 	r.enqueue(outItem{pkt: pkt}) //nolint:errcheck // queue-full already tapped
 	next := simkit.Jitter(r.sim.Rand(), r.cfg.HelloInterval, r.cfg.HelloJitterFrac)
@@ -567,7 +579,17 @@ func (r *Router) onFrame(f radio.Frame, info radio.RxInfo) {
 func (r *Router) onHello(pkt Packet, info radio.RxInfo) {
 	r.learnRoles(pkt)
 	now := r.sim.Now()
-	changed := r.table.Update(pkt.Src, pkt.Src, 1, info.SNRdB, now)
+	// Energy-aware routing turns the neighbour's advertised charge into
+	// a hop penalty on every route through it. Penalties compound along
+	// a path naturally: each node re-advertises its penalised metric,
+	// so a route crossing two tired nodes costs more than one.
+	var pen uint8
+	if r.cfg.EnergyAware {
+		if frac, ok := DecodeBattery(pkt.SrcBattery); ok {
+			pen = energyPenalty(frac)
+		}
+	}
+	changed := r.table.Update(pkt.Src, pkt.Src, reachable(AddMetric(1, pen)), info.SNRdB, now)
 	for _, ad := range pkt.Routes {
 		if ad.Addr == r.rad.ID() {
 			continue
@@ -577,9 +599,9 @@ func (r *Router) onHello(pkt Packet, info radio.RxInfo) {
 		if ad.Via == r.rad.ID() {
 			continue
 		}
-		metric := ad.Metric + 1
-		if ad.Metric >= MetricInf {
-			metric = MetricInf
+		metric := AddMetric(ad.Metric, 1)
+		if pen > 0 && metric < MetricInf {
+			metric = reachable(AddMetric(metric, pen))
 		}
 		if r.table.Update(ad.Addr, pkt.Src, metric, info.SNRdB, now) {
 			changed = true
@@ -588,6 +610,32 @@ func (r *Router) onHello(pkt Packet, info radio.RxInfo) {
 	if changed {
 		r.routesChanged()
 	}
+}
+
+// energyPenalty maps a neighbour's state of charge to extra metric
+// hops: healthy nodes cost nothing, tired ones look progressively
+// farther away.
+func energyPenalty(frac float64) uint8 {
+	switch {
+	case frac >= 0.5:
+		return 0
+	case frac >= 0.25:
+		return 1
+	case frac >= 0.1:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// reachable clamps a penalised metric just below MetricInf: a
+// low-battery neighbour is expensive, never unreachable — if it is the
+// only path, traffic still flows.
+func reachable(m uint8) uint8 {
+	if m >= MetricInf {
+		return MetricInf - 1
+	}
+	return m
 }
 
 func (r *Router) isDuplicate(pkt Packet) bool {

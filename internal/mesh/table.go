@@ -31,6 +31,17 @@ type Table struct {
 	snrTiebreakDB float64
 }
 
+// AddMetric adds two metric components, saturating at MetricInf: once
+// a route is unreachable, no amount of further addition may wrap it
+// back into the reachable range (uint8 arithmetic would, e.g. a
+// neighbour advertising 255 re-advertised as 0).
+func AddMetric(a, b uint8) uint8 {
+	if s := uint16(a) + uint16(b); s < MetricInf {
+		return uint8(s)
+	}
+	return MetricInf
+}
+
 // NewTable returns an empty table owned by self. Routes to self are
 // never stored.
 func NewTable(self radio.ID) *Table {

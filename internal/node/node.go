@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"lorameshmon/internal/agent"
+	"lorameshmon/internal/energy"
 	"lorameshmon/internal/mesh"
 	"lorameshmon/internal/radio"
 	"lorameshmon/internal/simkit"
@@ -62,6 +63,7 @@ type Node struct {
 	latency []LatencySample
 	onRecv  ReceiveFunc
 	running bool
+	energy  *energy.Account // nil for mains-powered nodes
 }
 
 // New wires a node from its parts. agent may be nil (unmonitored node).
@@ -95,6 +97,22 @@ func (n *Node) Agent() *agent.Agent { return n.agent }
 // App returns the application-layer counters.
 func (n *Node) App() AppCounters { return n.app }
 
+// Energy returns the node's battery account, or nil (mains powered).
+func (n *Node) Energy() *energy.Account { return n.energy }
+
+// SetEnergy attaches a battery account and wires it into the node's
+// lifecycle: the radio charges TX/RX activity to it, the router
+// advertises its state of charge in HELLOs, depletion powers the node
+// off through the real failure path (Fail), and a recharge past the
+// restart threshold boots it back up (Recover). Call before Start.
+func (n *Node) SetEnergy(acc *energy.Account) {
+	n.energy = acc
+	n.rad.SetEnergySink(acc)
+	n.router.SetBatterySource(acc.BatteryFraction)
+	acc.OnDepleted(n.Fail)
+	acc.OnRecharged(n.Recover)
+}
+
 // OnReceive installs the application receive callback.
 func (n *Node) OnReceive(f ReceiveFunc) { n.onRecv = f }
 
@@ -127,6 +145,10 @@ func (n *Node) Start() {
 		return
 	}
 	n.running = true
+	if n.energy != nil {
+		n.energy.Start()
+		n.energy.SetPowered(true)
+	}
 	n.router.Start()
 	if n.agent != nil {
 		n.agent.Start()
@@ -153,13 +175,23 @@ func (n *Node) Stop() {
 
 // Fail simulates an abrupt power failure: the radio goes deaf and all
 // software stops, exactly as a crashed device behaves from the outside.
+// On a battery-backed node the account stops drawing the idle floor
+// (harvesting continues — a dead node's panel still charges).
 func (n *Node) Fail() {
 	n.Stop()
 	n.rad.SetDown(true)
+	if n.energy != nil {
+		n.energy.SetPowered(false)
+	}
 }
 
-// Recover restores a failed node and restarts its software.
+// Recover restores a failed node and restarts its software. A node
+// whose battery is still below the restart threshold stays down — an
+// externally scheduled recovery cannot boot a brown-out.
 func (n *Node) Recover() {
+	if n.energy != nil && n.energy.Depleted() {
+		return
+	}
 	n.rad.SetDown(false)
 	n.Start()
 }

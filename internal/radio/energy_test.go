@@ -1,0 +1,85 @@
+package radio
+
+import (
+	"testing"
+	"time"
+
+	"lorameshmon/internal/simkit"
+)
+
+// recordingSink captures charge calls without a real battery model
+// behind it, keeping the radio tests independent of internal/energy.
+type recordingSink struct {
+	txAirtime time.Duration
+	txPower   []float64
+	rxAirtime time.Duration
+	rxCount   int
+}
+
+func (s *recordingSink) ChargeTx(airtime time.Duration, txPowerDBm float64) {
+	s.txAirtime += airtime
+	s.txPower = append(s.txPower, txPowerDBm)
+}
+
+func (s *recordingSink) ChargeRx(airtime time.Duration) {
+	s.rxAirtime += airtime
+	s.rxCount++
+}
+
+func TestEnergySinkChargedForTxAndRx(t *testing.T) {
+	sim := simkit.New(1)
+	_, a, b := newPair(t, sim, quietConfig(), 100)
+	var txSink, rxSink recordingSink
+	a.SetEnergySink(&txSink)
+	b.SetEnergySink(&rxSink)
+	b.SetHandler(func(Frame, RxInfo) {})
+
+	airtime, err := a.Transmit(Frame{Payload: "x", Bytes: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+
+	if txSink.txAirtime != airtime {
+		t.Errorf("tx charged %v, want the frame airtime %v", txSink.txAirtime, airtime)
+	}
+	if len(txSink.txPower) != 1 || txSink.txPower[0] != a.Params().TxPowerDBm {
+		t.Errorf("tx power charged = %v, want [%v]", txSink.txPower, a.Params().TxPowerDBm)
+	}
+	if txSink.rxCount != 0 {
+		t.Errorf("sender charged %d receptions, want 0", txSink.rxCount)
+	}
+	if rxSink.rxAirtime != airtime || rxSink.rxCount != 1 {
+		t.Errorf("rx charged %v over %d frames, want %v over 1", rxSink.rxAirtime, rxSink.rxCount, airtime)
+	}
+	if rxSink.txAirtime != 0 {
+		t.Errorf("receiver charged %v tx airtime, want 0", rxSink.txAirtime)
+	}
+}
+
+func TestEnergySinkNotChargedWhenDownOrOutOfRange(t *testing.T) {
+	sim := simkit.New(1)
+	_, a, b := newPair(t, sim, quietConfig(), 100)
+	var rxSink recordingSink
+	b.SetEnergySink(&rxSink)
+	b.SetHandler(func(Frame, RxInfo) {})
+	b.SetDown(true)
+	if _, err := a.Transmit(Frame{Payload: "x", Bytes: 20}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if rxSink.rxCount != 0 {
+		t.Errorf("down radio charged %d receptions, want 0", rxSink.rxCount)
+	}
+
+	// A down transmitter never reaches the medium, so no TX charge.
+	var txSink recordingSink
+	a.SetEnergySink(&txSink)
+	a.SetDown(true)
+	if _, err := a.Transmit(Frame{Payload: "x", Bytes: 20}); err != ErrRadioDown {
+		t.Fatalf("Transmit on down radio = %v, want ErrRadioDown", err)
+	}
+	if txSink.txAirtime != 0 {
+		t.Errorf("down transmitter charged %v airtime, want 0", txSink.txAirtime)
+	}
+}

@@ -71,6 +71,21 @@ type RxInfo struct {
 // Handler consumes frames delivered to a radio.
 type Handler func(frame Frame, info RxInfo)
 
+// EnergySink receives the energy cost of radio activity. The interface
+// is declared here (not in internal/energy) so the radio layer stays
+// independent of the battery model: anything that can absorb joules —
+// in practice *energy.Account — can be attached to a Radio.
+//
+// ChargeTx is debited for every frame put on the air (the PA runs for
+// the whole airtime whether or not anyone hears it). ChargeRx is
+// debited only for successful receptions: the model charges the
+// demodulation window we can attribute to a frame, not the idle
+// listen floor, which the account's own idle draw covers.
+type EnergySink interface {
+	ChargeTx(airtime time.Duration, txPowerDBm float64)
+	ChargeRx(airtime time.Duration)
+}
+
 // Stats aggregates medium-wide outcomes.
 type Stats struct {
 	TxFrames  uint64
@@ -427,6 +442,9 @@ func (m *Medium) transmit(r *Radio, frame Frame) (time.Duration, error) {
 	r.txUntil = t.end
 	r.txCount++
 	r.txAirtime += airtime
+	if r.energy != nil {
+		r.energy.ChargeTx(airtime, r.params.TxPowerDBm)
+	}
 	// One event settles the whole frame at end-of-air: collect the
 	// candidate receivers (positions as of the delivery decision, so
 	// mobility during the airtime is honoured), decide each reception,
@@ -541,6 +559,9 @@ func (m *Medium) deliver(t *transmission, rx *Radio) {
 
 	m.stats.Delivered++
 	rx.rxCount++
+	if rx.energy != nil {
+		rx.energy.ChargeRx(t.end.Sub(t.start))
+	}
 	rx.handler(t.frame, RxInfo{
 		At:      m.sim.Now(),
 		From:    t.from.id,
@@ -582,6 +603,7 @@ type Radio struct {
 	medium  *Medium
 	limiter *phy.DutyCycleLimiter
 	handler Handler
+	energy  EnergySink
 	down    bool
 	multiSF bool
 	txUntil simkit.Time
@@ -632,6 +654,10 @@ func (r *Radio) SetHandler(h Handler) { r.handler = h }
 // SetDown marks the radio failed (true) or restored (false). A down radio
 // neither transmits nor receives.
 func (r *Radio) SetDown(down bool) { r.down = down }
+
+// SetEnergySink attaches a battery account; nil detaches it. TX cost
+// is charged at transmit time, RX cost on each successful delivery.
+func (r *Radio) SetEnergySink(s EnergySink) { r.energy = s }
 
 // SetMultiSF makes the radio demodulate every spreading factor and
 // bandwidth on its carrier concurrently, like an SX1301-class gateway

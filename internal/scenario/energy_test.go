@@ -1,0 +1,178 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"lorameshmon/internal/energy"
+)
+
+// campusSpec is a minimal spec for driving campusClusters directly.
+func campusSpec(n int, area, sigma float64) Spec {
+	spec := DefaultSpec()
+	spec.Layout = Campus
+	spec.N = n
+	spec.AreaM = area
+	spec.SpacingM = sigma
+	return spec
+}
+
+// TestCampusSingleBuildingConnected: any n below the one-building-per-
+// 24-nodes threshold collapses to a single cluster, which must be
+// connected at a radius a few σ wide and stay inside the area.
+func TestCampusSingleBuildingConnected(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 24} {
+		rng := rand.New(rand.NewSource(7))
+		pts := campusClusters(rng, campusSpec(n, 1000, 20))
+		if len(pts) != n {
+			t.Fatalf("n=%d: placed %d points", n, len(pts))
+		}
+		for i, p := range pts {
+			if p.X < 0 || p.X > 1000 || p.Y < 0 || p.Y > 1000 {
+				t.Fatalf("n=%d: point %d escaped the area: %+v", n, i, p)
+			}
+		}
+		// A normal cluster with σ=20 is connected at ~6σ with huge margin.
+		if !connected(pts, 120) {
+			t.Fatalf("n=%d: single-building campus not connected", n)
+		}
+	}
+}
+
+// TestCampusFewerNodesThanClusterSize: with n far below 24 the
+// building count must clamp to 1 (never zero — a zero divisor would
+// panic in the round-robin assignment) and placement must not lose or
+// invent nodes.
+func TestCampusFewerNodesThanClusterSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := campusClusters(rng, campusSpec(1, 500, 0)) // default σ = area/40
+	if len(pts) != 1 {
+		t.Fatalf("single node produced %d points", len(pts))
+	}
+	// Default σ kicks in when SpacingM is zero.
+	rng = rand.New(rand.NewSource(3))
+	pts = campusClusters(rng, campusSpec(10, 500, 0))
+	if !connected(pts, 500.0/40*6) {
+		t.Fatal("default-σ single building not connected at 6σ")
+	}
+}
+
+// TestEnergyLifecycle drives a battery node through the full arc using
+// only the public scenario surface: idle drain depletes the battery →
+// the node powers off through the real failure path (radio deaf,
+// software stopped) → the sun comes up → the panel recharges past the
+// restart threshold → the node boots again.
+func TestEnergyLifecycle(t *testing.T) {
+	spec := deterministicSpec(Line, 2)
+	spec.Energy = &energy.Config{
+		CapacityJ:  10,
+		IdleA:      0.020, // 66 mW: depletes ~10 J in ~2.5 min
+		SolarPeakW: 0.5,
+		DayPeriod:  20 * time.Minute,
+		DayFrac:    0.5,
+		DayOffset:  10 * time.Minute, // dark first, dawn at t=10 min
+	}
+	dep, err := Build(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.Start()
+
+	dep.RunFor(8 * time.Minute) // deep into the night
+	for _, n := range dep.Nodes {
+		if n.Running() || !n.Radio().Down() {
+			t.Fatalf("node %v still up after depletion", n.ID())
+		}
+		if !n.Energy().Depleted() {
+			t.Fatalf("node %v not marked depleted", n.ID())
+		}
+	}
+	if _, ok := dep.FirstDeath(); !ok {
+		t.Fatal("FirstDeath reported no deaths")
+	}
+	if len(dep.DeadNodes()) != 2 {
+		t.Fatalf("DeadNodes = %d, want 2", len(dep.DeadNodes()))
+	}
+
+	dep.RunFor(4 * time.Minute) // dawn at 10 min; panels out-power idle
+	for _, n := range dep.Nodes {
+		if !n.Running() || n.Radio().Down() {
+			t.Fatalf("node %v not revived by sunrise", n.ID())
+		}
+		acc := n.Energy()
+		if len(acc.Deaths()) == 0 || len(acc.Revivals()) == 0 {
+			t.Fatalf("node %v lifecycle not recorded: deaths=%d revivals=%d",
+				n.ID(), len(acc.Deaths()), len(acc.Revivals()))
+		}
+	}
+	if got := len(dep.DeadNodes()); got != 0 {
+		t.Fatalf("DeadNodes = %d after sunrise, want 0", got)
+	}
+}
+
+// TestScheduledRecoveryCannotReviveDeadBattery: an operator-scheduled
+// recovery during a brown-out must not boot the node — only charge can.
+func TestScheduledRecoveryCannotReviveDeadBattery(t *testing.T) {
+	spec := deterministicSpec(Line, 1)
+	spec.Energy = &energy.Config{
+		CapacityJ: 10,
+		IdleA:     0.020,
+		// No panel: once dead, dead for good.
+	}
+	dep, err := Build(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.Start()
+	if err := dep.ScheduleFailure(1, dep.Sim.Now().Add(1*time.Minute), 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	dep.RunFor(10 * time.Minute)
+	n := dep.Nodes[0]
+	// The scheduled recovery at t=3 min briefly restores it, but the
+	// battery runs out for good afterwards; by now it must be down and
+	// immune to any further Recover call.
+	if !n.Energy().Depleted() {
+		t.Fatal("battery should be depleted")
+	}
+	n.Recover()
+	if n.Running() {
+		t.Fatal("Recover booted a node with a dead battery")
+	}
+}
+
+// TestEnergyPresetsBuild pins that all three presets construct, attach
+// batteries to every node, and (for the corridor) never harvest.
+func TestEnergyPresetsBuild(t *testing.T) {
+	sink := &nullSink{}
+	for _, tc := range []struct {
+		name string
+		spec Spec
+	}{
+		{"solar-campus", SolarCampus(1, 12)},
+		{"off-grid", OffGridLongRange(1, 12)},
+		{"subterranean", SubterraneanCorridor(1, 8)},
+	} {
+		dep, err := Build(tc.spec, sink)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for _, n := range dep.Nodes {
+			if n.Energy() == nil {
+				t.Fatalf("%s: node %v has no battery", tc.name, n.ID())
+			}
+		}
+	}
+	dep, err := Build(SubterraneanCorridor(2, 4), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.Start()
+	dep.RunFor(30 * time.Minute)
+	for _, n := range dep.Nodes {
+		if n.Energy().HarvestW() != 0 {
+			t.Fatal("subterranean preset must not harvest")
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"time"
+
+	"lorameshmon/internal/energy"
+	"lorameshmon/internal/node"
+	"lorameshmon/internal/simkit"
+)
+
+// Energy scenario presets. All three run on a time-compressed power
+// model — a 2 h "day", battery capacities of tens of joules — so that
+// multi-day-equivalent lifetime dynamics (night-time brown-outs, solar
+// revival, relay exhaustion) play out within a few simulated hours
+// instead of weeks. The ratios between TX, idle and harvest power are
+// taken from the SX127x datasheet figures in package energy; only the
+// time base is compressed.
+
+// SolarCampus is the smart-campus deployment on solar power: clustered
+// placement, +20 dBm radios, small buffer batteries and panels that
+// comfortably out-produce the load while the sun is up. The cycle
+// starts at night (dawn at 90 min), so heavily loaded relays brown out
+// before first light and are revived by their panels — the monitoring
+// system should observe both transitions.
+func SolarCampus(seed int64, n int) Spec {
+	s := DefaultSpec()
+	s.Seed, s.N = seed, n
+	s.Layout = Campus
+	s.AreaM = 2000
+	s.Phy.TxPowerDBm = 20
+	s.Energy = &energy.Config{
+		CapacityJ:   30,
+		InitialFrac: 0.9,
+		IdleA:       0.002, // ~24 J/h floor: one battery lasts ~1.1 h of night
+		SolarPeakW:  0.04,
+		DayPeriod:   2 * time.Hour,
+		DayFrac:     0.5,
+		DayOffset:   90 * time.Minute,
+	}
+	return s
+}
+
+// OffGridLongRange is a sparse wide-area deployment at maximum TX
+// power with batteries and only a token panel: average harvest covers
+// a leaf's duty but not a relay's, so forwarding burden decides which
+// nodes die first — the preset where routing policy matters most.
+func OffGridLongRange(seed int64, n int) Spec {
+	s := DefaultSpec()
+	s.Seed, s.N = seed, n
+	s.Layout = RandomGeometric
+	s.AreaM = 10000 // ~1.7x the 20 dBm range: forces multi-hop relaying
+	s.Phy.TxPowerDBm = 20
+	s.Energy = &energy.Config{
+		CapacityJ:   60,
+		InitialFrac: 1,
+		IdleA:       0.0002,
+		SolarPeakW:  0.008,
+		DayPeriod:   2 * time.Hour,
+		DayFrac:     0.5,
+	}
+	return s
+}
+
+// SubterraneanCorridor is a mine-gallery line deployment: no light, no
+// harvesting, batteries only. Every node is on a one-way march to
+// depletion and never comes back, which makes it the cleanest test of
+// monitoring completeness (was every death flagged before silence?).
+func SubterraneanCorridor(seed int64, n int) Spec {
+	s := DefaultSpec()
+	s.Seed, s.N = seed, n
+	s.Layout = Line
+	s.SpacingM = 300
+	s.Energy = &energy.Config{
+		CapacityJ:   45,
+		InitialFrac: 1,
+		IdleA:       0.0004,
+		SolarPeakW:  0, // underground
+	}
+	return s
+}
+
+// FirstDeath returns the earliest battery depletion across the
+// deployment — the classic "network lifetime" instant — or false if no
+// node has died (or none carries a battery).
+func (d *Deployment) FirstDeath() (simkit.Time, bool) {
+	var first simkit.Time
+	found := false
+	for _, n := range d.Nodes {
+		acc := n.Energy()
+		if acc == nil {
+			continue
+		}
+		for _, t := range acc.Deaths() {
+			if !found || t < first {
+				first, found = t, true
+			}
+		}
+	}
+	return first, found
+}
+
+// DeadNodes returns the nodes currently off with a depleted battery.
+func (d *Deployment) DeadNodes() []*node.Node {
+	var out []*node.Node
+	for _, n := range d.Nodes {
+		if acc := n.Energy(); acc != nil && acc.Depleted() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// EnergyDeaths returns every battery-depletion event in the deployment
+// as (node, time) pairs, unordered.
+func (d *Deployment) EnergyDeaths() map[*node.Node][]simkit.Time {
+	out := make(map[*node.Node][]simkit.Time)
+	for _, n := range d.Nodes {
+		if acc := n.Energy(); acc != nil && len(acc.Deaths()) > 0 {
+			out[n] = acc.Deaths()
+		}
+	}
+	return out
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"lorameshmon/internal/agent"
+	"lorameshmon/internal/energy"
 	"lorameshmon/internal/mesh"
 	"lorameshmon/internal/node"
 	"lorameshmon/internal/phy"
@@ -78,6 +79,13 @@ type Spec struct {
 	Monitor bool
 	Agent   agent.Config
 	Uplink  uplink.SimConfig
+
+	// Energy, when non-nil, gives every node a battery (and optionally a
+	// solar panel) with this configuration. Radios charge TX/RX airtime
+	// to it, agents report state of charge in telemetry, and depletion
+	// powers the node off through the real failure path. Nil means mains
+	// power: infinite energy, exactly the pre-energy behaviour.
+	Energy *energy.Config
 }
 
 // DefaultSpec is a 10-node random-geometric campus deployment with
@@ -137,12 +145,24 @@ func Build(spec Spec, sink uplink.Sink) (*Deployment, error) {
 			return nil, fmt.Errorf("scenario: attach %v: %w", id, err)
 		}
 		router := mesh.NewRouter(sim, rad, spec.Mesh)
+		var acc *energy.Account
+		if spec.Energy != nil {
+			acc = energy.NewAccount(sim, *spec.Energy)
+		}
 		var ag *agent.Agent
 		if spec.Monitor {
 			link := uplink.NewSim(sim, sink, spec.Uplink)
-			ag = agent.New(sim, router, link, spec.Agent)
+			acfg := spec.Agent
+			if acc != nil {
+				acfg.Energy = acc
+			}
+			ag = agent.New(sim, router, link, acfg)
 		}
-		dep.Nodes = append(dep.Nodes, node.New(sim, rad, router, ag))
+		nd := node.New(sim, rad, router, ag)
+		if acc != nil {
+			nd.SetEnergy(acc)
+		}
+		dep.Nodes = append(dep.Nodes, nd)
 	}
 	return dep, nil
 }

@@ -21,10 +21,18 @@ import (
 // seconds, measurements f32.
 
 const (
-	binMagic0  = 'M'
-	binMagic1  = 'B'
-	binVersion = 1
+	binMagic0 = 'M'
+	binMagic1 = 'B'
+	// binVersion 2 appends a flags byte to every stats record; when the
+	// energy bit is set, three f32 battery fields follow. The decoder
+	// still accepts version-1 images (pre-energy firmware and archived
+	// WAL segments), which simply have no flags byte.
+	binVersion       = 2
+	binVersionLegacy = 1
 )
+
+// stats flag bits (version >= 2).
+const statsFlagEnergy = 1 << 0
 
 // ErrBinaryFormat reports a malformed binary batch.
 var ErrBinaryFormat = errors.New("wire: malformed binary batch")
@@ -227,6 +235,16 @@ func (w *binWriter) encode(b Batch) {
 		w.uvarint(uint64(s.QueueLen))
 		w.f32(s.AirtimeMS)
 		w.f32(s.DutyCycleUsed)
+		var flags byte
+		if s.Energy {
+			flags |= statsFlagEnergy
+		}
+		w.u8(flags)
+		if s.Energy {
+			w.f32(s.BatteryFrac)
+			w.f32(s.BatteryV)
+			w.f32(s.HarvestW)
+		}
 	}
 	for _, h := range b.Heartbeats {
 		w.f64(h.TS)
@@ -272,8 +290,9 @@ func DecodeBatchBinary(data []byte) (Batch, error) {
 	if r.u8() != binMagic0 || r.u8() != binMagic1 {
 		return Batch{}, fmt.Errorf("%w: bad magic", ErrBinaryFormat)
 	}
-	if v := r.u8(); v != binVersion {
-		return Batch{}, fmt.Errorf("%w: unsupported version %d", ErrBinaryFormat, v)
+	version := r.u8()
+	if version != binVersion && version != binVersionLegacy {
+		return Batch{}, fmt.Errorf("%w: unsupported version %d", ErrBinaryFormat, version)
 	}
 	var b Batch
 	b.Node = NodeID(r.u16())
@@ -356,6 +375,15 @@ func DecodeBatchBinary(data []byte) (Batch, error) {
 		s.QueueLen = int(r.uvarint())
 		s.AirtimeMS = r.f32()
 		s.DutyCycleUsed = r.f32()
+		if version >= 2 {
+			flags := r.u8()
+			if flags&statsFlagEnergy != 0 {
+				s.Energy = true
+				s.BatteryFrac = r.f32()
+				s.BatteryV = r.f32()
+				s.HarvestW = r.f32()
+			}
+		}
 		b.Stats = append(b.Stats, s)
 	}
 	for i := uint64(0); i < nHBs && r.err == nil; i++ {

@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"testing"
+)
+
+func energyBatch() Batch {
+	return Batch{
+		Node: 0x0007, SeqNo: 3, SentAt: 600,
+		Stats: []NodeStats{
+			{TS: 599, Node: 0x0007, UptimeS: 599, HelloSent: 9,
+				Energy: true, BatteryFrac: 0.625, BatteryV: 3.75, HarvestW: 0.5},
+			// A mixed batch: the second record has no battery model.
+			{TS: 599.5, Node: 0x0007, UptimeS: 599.5, HelloSent: 9},
+		},
+	}
+}
+
+func TestEnergyFieldsJSONRoundTrip(t *testing.T) {
+	data, err := EncodeBatch(energyBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := got.Stats[0]
+	if !s.Energy || s.BatteryFrac != 0.625 || s.BatteryV != 3.75 || s.HarvestW != 0.5 {
+		t.Fatalf("energy fields lost in JSON round trip: %+v", s)
+	}
+	if got.Stats[1].Energy {
+		t.Fatal("non-energy record gained the energy flag")
+	}
+}
+
+func TestEnergyFieldsBinaryRoundTrip(t *testing.T) {
+	// Values chosen exactly representable in float32, so the f32 wire
+	// fields round-trip without tolerance.
+	data, err := EncodeBatchBinary(energyBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatchBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := got.Stats[0]
+	if !s.Energy || s.BatteryFrac != 0.625 || s.BatteryV != 3.75 || s.HarvestW != 0.5 {
+		t.Fatalf("energy fields lost in binary round trip: %+v", s)
+	}
+	if got.Stats[1].Energy || got.Stats[1].BatteryFrac != 0 {
+		t.Fatalf("non-energy record gained energy state: %+v", got.Stats[1])
+	}
+}
+
+// TestBinaryDecodesLegacyV1 pins backward compatibility: a version-1
+// image (stats records carry no flags byte) must still decode, with the
+// energy fields left zero.
+func TestBinaryDecodesLegacyV1(t *testing.T) {
+	b := Batch{
+		Node: 0x0007, SeqNo: 1, SentAt: 60,
+		Stats: []NodeStats{{TS: 59, Node: 0x0007, UptimeS: 59, HelloSent: 2, RouteCount: 3}},
+	}
+	// Hand-encode the v1 image: identical to v2 minus the stats flags.
+	w := &binWriter{}
+	w.u8(binMagic0)
+	w.u8(binMagic1)
+	w.u8(binVersionLegacy)
+	w.u16(uint16(b.Node))
+	w.uvarint(b.SeqNo)
+	w.f64(b.SentAt)
+	w.uvarint(0) // packets
+	w.uvarint(0) // routes
+	w.uvarint(1) // stats
+	w.uvarint(0) // heartbeats
+	s := b.Stats[0]
+	w.f64(s.TS)
+	w.f32(s.UptimeS)
+	for _, v := range s.counterFields() {
+		w.uvarint(v)
+	}
+	w.uvarint(uint64(s.RouteCount))
+	w.uvarint(uint64(s.QueueLen))
+	w.f32(s.AirtimeMS)
+	w.f32(s.DutyCycleUsed)
+
+	got, err := DecodeBatchBinary(w.buf)
+	if err != nil {
+		t.Fatalf("legacy v1 image rejected: %v", err)
+	}
+	gs := got.Stats[0]
+	if gs.HelloSent != 2 || gs.RouteCount != 3 || gs.Energy || gs.BatteryFrac != 0 {
+		t.Fatalf("legacy decode mismatch: %+v", gs)
+	}
+}
+
+func TestNodeStatsValidateEnergy(t *testing.T) {
+	ok := NodeStats{TS: 1, Energy: true, BatteryFrac: 0.5, BatteryV: 3.6}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid energy stats rejected: %v", err)
+	}
+	bad := []NodeStats{
+		{TS: 1, Energy: true, BatteryFrac: 1.5},
+		{TS: 1, Energy: true, BatteryFrac: -0.1},
+		{TS: 1, Energy: true, BatteryFrac: 0.5, BatteryV: -1},
+		{TS: 1, Energy: true, BatteryFrac: 0.5, HarvestW: -2},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid energy stats accepted: %+v", i, s)
+		}
+	}
+	// Out-of-range values without the Energy flag stay ignored, as on
+	// old firmware.
+	legacy := NodeStats{TS: 1, BatteryFrac: 9}
+	if err := legacy.Validate(); err != nil {
+		t.Fatalf("non-energy stats rejected on dormant fields: %v", err)
+	}
+}

@@ -155,6 +155,15 @@ type NodeStats struct {
 	DutyBlocked    uint64  `json:"duty_blocked"`
 	RxMissWeak     uint64  `json:"rx_miss_weak"`
 	RxMissCollided uint64  `json:"rx_miss_collided"`
+
+	// Energy marks that the node has a battery model attached and the
+	// three fields below are meaningful. Nodes without one (mains
+	// powered, or old firmware) leave it false and the server treats
+	// the record exactly as before.
+	Energy      bool    `json:"energy,omitempty"`
+	BatteryFrac float64 `json:"battery_frac,omitempty"` // state of charge [0,1]
+	BatteryV    float64 `json:"battery_v,omitempty"`    // terminal voltage
+	HarvestW    float64 `json:"harvest_w,omitempty"`    // instantaneous panel output
 }
 
 // Validate reports structural problems.
@@ -166,6 +175,10 @@ func (s NodeStats) Validate() error {
 		return fmt.Errorf("wire: node stats: negative uptime %v", s.UptimeS)
 	case s.DutyCycleUsed < 0 || s.DutyCycleUsed > 1:
 		return fmt.Errorf("wire: node stats: duty cycle %v outside [0,1]", s.DutyCycleUsed)
+	case s.Energy && (s.BatteryFrac < 0 || s.BatteryFrac > 1):
+		return fmt.Errorf("wire: node stats: battery fraction %v outside [0,1]", s.BatteryFrac)
+	case s.Energy && (s.BatteryV < 0 || s.HarvestW < 0):
+		return fmt.Errorf("wire: node stats: negative battery voltage or harvest")
 	}
 	return nil
 }

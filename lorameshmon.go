@@ -36,6 +36,7 @@ import (
 	"lorameshmon/internal/analysis"
 	"lorameshmon/internal/collector"
 	"lorameshmon/internal/dashboard"
+	"lorameshmon/internal/energy"
 	"lorameshmon/internal/scenario"
 	"lorameshmon/internal/tsdb"
 	"lorameshmon/internal/wire"
@@ -61,6 +62,9 @@ type (
 	TopologyAccuracy = analysis.Accuracy
 	// NodeID is a mesh node address.
 	NodeID = wire.NodeID
+	// EnergyConfig describes a node battery and solar harvester; set
+	// Spec.Energy to a *EnergyConfig to put the deployment on batteries.
+	EnergyConfig = energy.Config
 )
 
 // Placement layouts.
@@ -74,6 +78,16 @@ const (
 
 // DefaultSpec returns the standard 10-node monitored campus deployment.
 func DefaultSpec() Spec { return scenario.DefaultSpec() }
+
+// Energy scenario presets (see internal/scenario for the power model).
+var (
+	// SolarCampusSpec is the solar-powered smart-campus deployment.
+	SolarCampusSpec = scenario.SolarCampus
+	// OffGridLongRangeSpec is the battery-dominated wide-area deployment.
+	OffGridLongRangeSpec = scenario.OffGridLongRange
+	// SubterraneanCorridorSpec is the no-harvesting line deployment.
+	SubterraneanCorridorSpec = scenario.SubterraneanCorridor
+)
 
 // Options tunes the server-side components of a System.
 type Options struct {

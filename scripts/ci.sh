@@ -9,6 +9,7 @@
 #   scripts/ci.sh federate  # federation suite (ring, router, view, handoff) under -race
 #   scripts/ci.sh scale     # spatial-index suite (grid vs brute, reindex, mobility)
 #   scripts/ci.sh read      # streaming read path (cache equivalence, SSE, long-poll) under -race
+#   scripts/ci.sh energy    # energy-model suite (conservation, depletion/revival, lifetime) under -race
 #   scripts/ci.sh fuzz      # bounded fuzzing: chunk codec round-trip + chart query parser
 #   scripts/ci.sh bench     # perf harness -> BENCH_NEW.json
 #   scripts/ci.sh compare   # perf gate vs committed BENCH_1.json
@@ -95,6 +96,27 @@ stage_read() {
     ./internal/dashboard
 }
 
+stage_energy() {
+  echo "== energy-model suite =="
+  # The battery/solar guarantees run again by name, mirroring the other
+  # named stages: the exact integer-joule conservation property, the
+  # depletion -> real-failure-path -> solar-revival lifecycle, the
+  # saturating route-metric arithmetic that energy penalties lean on,
+  # and the low-battery alerting contract (fires before the silence,
+  # resolves on recharge, ignores mains nodes).
+  go test -race -count=1 -run 'Conservation|Depletion|Solar|TxCurrent|IdleDrain|ChargeTxRx|Voltage' \
+    ./internal/energy
+  go test -race -count=1 -run 'EnergySink' ./internal/radio
+  go test -race -count=1 -run 'AddMetricSaturates|EnergyAware|HopCountDefault|BatteryEncoding|EnergyPenalty|HelloAdvertisesBattery' \
+    ./internal/mesh
+  go test -race -count=1 -run 'EnergyLifecycle|EnergyPresets|ScheduledRecovery|CampusSingleBuilding|CampusFewerNodes' \
+    ./internal/scenario
+  go test -race -count=1 -run 'EnergyStatsIngest' ./internal/collector
+  go test -race -count=1 -run 'LowBattery' ./internal/alert
+  go test -race -count=1 -run 'EnergyFields|BinaryDecodesLegacy|NodeStatsValidateEnergy' \
+    ./internal/wire
+}
+
 stage_fuzz() {
   echo "== bounded fuzz: chunk codec round-trip =="
   # 20 seconds of coverage-guided input generation on the compression
@@ -133,6 +155,7 @@ case "${1:-all}" in
   federate) stage_federate ;;
   scale)    stage_scale ;;
   read)     stage_read ;;
+  energy)   stage_energy ;;
   fuzz)     stage_fuzz ;;
   bench)    stage_bench ;;
   compare)  stage_compare ;;
@@ -144,13 +167,14 @@ case "${1:-all}" in
     stage_federate
     stage_scale
     stage_read
+    stage_energy
     stage_fuzz
     stage_bench
     stage_compare
     echo "CI OK"
     ;;
   *)
-    echo "usage: scripts/ci.sh [vet|build|test|recover|federate|scale|read|fuzz|bench|compare|all]" >&2
+    echo "usage: scripts/ci.sh [vet|build|test|recover|federate|scale|read|energy|fuzz|bench|compare|all]" >&2
     exit 2
     ;;
 esac
